@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (Figures 1–4, the Section-5
+configuration) or one extension experiment (X1–X6 in DESIGN.md).  The
+regenerated table is printed and also written to ``benchmarks/results/``
+so EXPERIMENTS.md can quote it verbatim.
+
+Wall-clock timing comes from pytest-benchmark; the scientific metrics
+(latencies, message counts, execution counts) are *virtual-time* results
+attached to ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a regenerated table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run a heavy simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def attach(benchmark, info: Dict[str, Any]) -> None:
+    """Record virtual-time metrics in the benchmark report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,69 @@
+"""X12 — saturation behavior under open-loop (Poisson) load.
+
+A serially executing server (the Serial Execution micro-protocol plus a
+5 ms procedure) has a hard capacity of ~200 calls/s.  Poisson arrivals
+are offered at increasing rates; below capacity, latency sits near the
+network + service floor, and as the offered load approaches capacity the
+queue (calls blocked on the execution gate) drives latency up
+super-linearly — the classic open-loop saturation curve, with work left
+in flight at the deadline once the service is overloaded.
+"""
+
+from _common import attach, run_once, save_result
+
+from repro import LinkSpec, ServiceCluster, ServiceSpec
+from repro.apps import KVStore
+from repro.bench import OpenLoopWorkload, banner, read_only_workload, \
+    render_table
+
+LINK = LinkSpec(delay=0.002, jitter=0.001)
+OP_DELAY = 0.005                       # capacity ~200 calls/s
+RATES = (50, 100, 160, 260)
+DURATION = 4.0
+
+
+def run_point(rate):
+    spec = ServiceSpec(acceptance=1, bounded=0.0, execution="serial")
+    cluster = ServiceCluster(
+        spec, lambda pid: KVStore(op_delay=OP_DELAY, keep_log=False),
+        n_servers=1, seed=12, default_link=LINK, keep_trace=False)
+    workload = OpenLoopWorkload(lambda i: read_only_workload(seed=i),
+                                rate=rate, duration=DURATION, seed=rate)
+    result = workload.run(cluster, drain_time=3.0)
+    stats = result.latency_stats().scaled(1000.0)
+    return {"rate": rate, "mean_ms": stats.mean, "p95_ms": stats.p95,
+            "completed": result.calls, "incomplete": result.incomplete,
+            "throughput": result.calls / DURATION}
+
+
+def test_x12_saturation(benchmark):
+    def experiment():
+        return [run_point(rate) for rate in RATES]
+
+    rows = run_once(benchmark, experiment)
+
+    table = render_table(
+        ["offered calls/s", "completed/s", "mean ms", "p95 ms",
+         "in flight at deadline"],
+        [[r["rate"], f"{r['throughput']:.0f}", f"{r['mean_ms']:.2f}",
+          f"{r['p95_ms']:.2f}", r["incomplete"]] for r in rows])
+    save_result("x12_saturation", "\n".join([
+        banner("X12 — open-loop saturation",
+               f"serial execution, {OP_DELAY * 1000:.0f}ms procedures "
+               f"(capacity ~{1 / OP_DELAY:.0f}/s), Poisson arrivals for "
+               f"{DURATION:.0f}s"),
+        table]))
+    attach(benchmark, {f"{r['rate']}/s": round(r["mean_ms"], 2)
+                       for r in rows})
+
+    by_rate = {r["rate"]: r for r in rows}
+    # Far below capacity: latency near the floor (~service+network).
+    assert by_rate[50]["mean_ms"] < 20
+    # Approaching capacity: queueing dominates.
+    assert by_rate[160]["mean_ms"] > 2 * by_rate[50]["mean_ms"]
+    # Past capacity: the backlog grows for the whole run, so mean
+    # latency explodes by an order of magnitude over the near-capacity
+    # point (completions continue through the drain window, which is why
+    # "completed/s" can exceed capacity in the table).
+    assert by_rate[260]["mean_ms"] > 10 * by_rate[160]["mean_ms"]
+    assert by_rate[260]["mean_ms"] > 300

@@ -1,0 +1,95 @@
+"""X13 — framework micro-benchmark: the cost of event dispatch itself.
+
+The paper claims the event-driven style "decouples the micro-protocols
+enough to facilitate configurability without adversely affecting
+programmability" — and the performance question underneath is how much
+a dispatch costs.  This CPU micro-benchmark measures the framework's
+primitive operations in isolation: triggering an event with 1/4/8
+registered handlers under blocking-sequential dispatch, the concurrent
+variant (per-handler tasks), and the baseline of plain awaited calls
+without any framework.
+
+Expected shape: sequential dispatch costs a small constant per handler
+over plain calls; the concurrent mode pays task creation per handler and
+is the expensive variant — use it for genuinely parallel handlers, not
+by default (the paper's micro-protocols all use sequential dispatch).
+"""
+
+import time
+
+from _common import attach, run_once, save_result
+
+from repro.bench import banner, render_table
+from repro.core.events import EventBus
+from repro.runtime import SimRuntime
+
+TRIGGERS = 3000
+HANDLER_COUNTS = (1, 4, 8)
+
+
+async def _noop_handler():
+    return None
+
+
+def measure(mode, n_handlers):
+    rt = SimRuntime()
+    bus = EventBus(rt)
+    for _ in range(n_handlers):
+        bus.register("E", _noop_handler)
+
+    async def main():
+        if mode == "sequential":
+            for _ in range(TRIGGERS):
+                await bus.trigger("E")
+        elif mode == "concurrent":
+            for _ in range(TRIGGERS):
+                await bus.trigger_concurrent("E")
+        else:   # plain awaited calls, no framework
+            for _ in range(TRIGGERS):
+                for _ in range(n_handlers):
+                    await _noop_handler()
+
+    wall0 = time.perf_counter()
+    rt.run(main())
+    wall = time.perf_counter() - wall0
+    return wall / TRIGGERS * 1e6    # us per trigger
+
+
+def test_x13_dispatch_modes(benchmark):
+    def experiment():
+        rows = []
+        for n in HANDLER_COUNTS:
+            rows.append({
+                "handlers": n,
+                "plain": min(measure("plain", n) for _ in range(3)),
+                "sequential": min(measure("sequential", n)
+                                  for _ in range(3)),
+                "concurrent": min(measure("concurrent", n)
+                                  for _ in range(3)),
+            })
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = render_table(
+        ["handlers", "plain calls us", "sequential trigger us",
+         "concurrent trigger us"],
+        [[r["handlers"], f"{r['plain']:.2f}", f"{r['sequential']:.2f}",
+          f"{r['concurrent']:.2f}"] for r in rows])
+    save_result("x13_dispatch_modes", "\n".join([
+        banner("X13 — event dispatch cost",
+               f"{TRIGGERS} triggers per point, best of 3, no-op "
+               f"handlers"),
+        table]))
+    attach(benchmark, {f"seq@{r['handlers']}":
+                       round(r["sequential"], 2) for r in rows})
+
+    for r in rows:
+        # The framework costs something over plain calls...
+        assert r["sequential"] > r["plain"]
+        # ...but stays within an order of magnitude at every fan-out,
+        assert r["sequential"] < 20 * r["plain"] + 20
+        # and per-handler task creation makes concurrent the costly mode.
+        assert r["concurrent"] > r["sequential"]
+    # Sequential dispatch scales roughly linearly in handler count.
+    assert rows[-1]["sequential"] < 12 * rows[0]["sequential"]

@@ -1,0 +1,82 @@
+"""X2 — the price of ordering guarantees (extension).
+
+Multi-client concurrent workload against server groups of increasing
+size, under no ordering, FIFO ordering and Total ordering.  Expected
+shape: none < FIFO < Total in both latency and message cost, with Total's
+gap growing with group size (the leader's ORDER multicast is O(group)
+per call).
+"""
+
+from _common import attach, run_once, save_result
+
+from repro import LinkSpec, ServiceCluster, ServiceSpec
+from repro.apps import KVStore
+from repro.bench import ClosedLoopWorkload, banner, kv_workload, render_table
+
+LINK = LinkSpec(delay=0.01, jitter=0.004)
+CALLS = 25
+CLIENTS = 3
+GROUP_SIZES = (2, 4, 8)
+
+VARIANTS = {
+    "none": lambda n: ServiceSpec(acceptance=n, unique=True,
+                                  ordering="none"),
+    "fifo": lambda n: ServiceSpec(acceptance=n, unique=True,
+                                  ordering="fifo"),
+    "causal": lambda n: ServiceSpec(acceptance=n, unique=True,
+                                    ordering="causal"),
+    "total": lambda n: ServiceSpec(acceptance=n, unique=True,
+                                   ordering="total"),
+}
+
+
+def run_point(ordering, n_servers):
+    spec = VARIANTS[ordering](n_servers)
+    cluster = ServiceCluster(spec, KVStore, n_servers=n_servers,
+                             n_clients=CLIENTS, seed=4,
+                             default_link=LINK, keep_trace=False)
+    workload = ClosedLoopWorkload(lambda i: kv_workload(seed=i),
+                                  calls_per_client=CALLS)
+    result = workload.run(cluster, settle_time=1.0)
+    stats = result.latency_stats().scaled(1000.0)
+    return {"ordering": ordering, "servers": n_servers,
+            "mean_ms": stats.mean, "p95_ms": stats.p95,
+            "msgs_per_call": result.messages_per_call,
+            "ok": result.ok_ratio}
+
+
+def test_x2_ordering_cost(benchmark):
+    def experiment():
+        return [run_point(ordering, n)
+                for n in GROUP_SIZES
+                for ordering in ("none", "fifo", "causal", "total")]
+
+    rows = run_once(benchmark, experiment)
+
+    table = render_table(
+        ["servers", "ordering", "mean ms", "p95 ms", "msgs/call"],
+        [[r["servers"], r["ordering"], f"{r['mean_ms']:.2f}",
+          f"{r['p95_ms']:.2f}", f"{r['msgs_per_call']:.1f}"]
+         for r in rows])
+    save_result("x2_ordering_cost", "\n".join([
+        banner("X2 — ordering cost (none vs FIFO vs Total)",
+               f"{CLIENTS} concurrent clients x {CALLS} calls, "
+               f"acceptance = group size"),
+        table]))
+    attach(benchmark, {f"{r['ordering']}@{r['servers']}":
+                       round(r['mean_ms'], 2) for r in rows})
+
+    assert all(r["ok"] == 1.0 for r in rows)
+    point = {(r["ordering"], r["servers"]): r for r in rows}
+    for n in GROUP_SIZES:
+        # Total Order pays the extra ORDER dissemination on every call.
+        assert point[("total", n)]["msgs_per_call"] \
+            > point[("none", n)]["msgs_per_call"]
+        assert point[("total", n)]["mean_ms"] \
+            >= point[("none", n)]["mean_ms"]
+        # FIFO and Causal add no extra messages, only gating (causal
+        # piggybacks its dependencies on the calls themselves).
+        assert point[("fifo", n)]["msgs_per_call"] \
+            <= point[("total", n)]["msgs_per_call"]
+        assert point[("causal", n)]["msgs_per_call"] \
+            <= point[("total", n)]["msgs_per_call"]

@@ -1,0 +1,64 @@
+"""X4 — message loss vs completion latency under Reliable Communication
+(extension).
+
+Sweeps link omission rates with the exactly-once service.  Expected
+shape: every call still completes (reliability = retransmission), but
+mean latency and messages/call grow with the loss rate, with the tail
+(p95) growing fastest — each lost message costs one retransmission
+timeout.
+"""
+
+from _common import attach, run_once, save_result
+
+from repro import LinkSpec, ServiceCluster
+from repro.apps import KVStore
+from repro.bench import ClosedLoopWorkload, banner, kv_workload, render_table
+from repro.core.config import exactly_once
+
+CALLS = 40
+LOSS_RATES = (0.0, 0.05, 0.1, 0.2, 0.3)
+RETRANS = 0.08
+
+
+def run_point(loss):
+    link = LinkSpec(delay=0.01, jitter=0.004, loss=loss)
+    spec = exactly_once(acceptance=3, bounded=30.0,
+                        retrans_timeout=RETRANS)
+    cluster = ServiceCluster(spec, KVStore, n_servers=3, seed=6,
+                             default_link=link, keep_trace=False)
+    workload = ClosedLoopWorkload(lambda i: kv_workload(seed=i),
+                                  calls_per_client=CALLS)
+    result = workload.run(cluster, settle_time=1.0)
+    stats = result.latency_stats().scaled(1000.0)
+    return {"loss": loss, "mean_ms": stats.mean, "p95_ms": stats.p95,
+            "msgs_per_call": result.messages_per_call,
+            "ok": result.ok_ratio}
+
+
+def test_x4_loss_sweep(benchmark):
+    def experiment():
+        return [run_point(loss) for loss in LOSS_RATES]
+
+    rows = run_once(benchmark, experiment)
+
+    table = render_table(
+        ["loss", "mean ms", "p95 ms", "msgs/call", "ok%"],
+        [[f"{r['loss']:.0%}", f"{r['mean_ms']:.2f}",
+          f"{r['p95_ms']:.2f}", f"{r['msgs_per_call']:.1f}",
+          f"{r['ok'] * 100:.0f}"] for r in rows])
+    save_result("x4_loss_sweep", "\n".join([
+        banner("X4 — omission failures vs completion latency",
+               f"exactly-once, acceptance=3, retransmission timer "
+               f"{RETRANS * 1000:.0f}ms, {CALLS} calls"),
+        table]))
+    attach(benchmark, {f"loss={r['loss']:.0%}": round(r["mean_ms"], 2)
+                       for r in rows})
+
+    # Reliability holds: everything completes at every loss rate.
+    assert all(r["ok"] == 1.0 for r in rows)
+    # Latency and message cost grow with loss.
+    assert rows[-1]["mean_ms"] > rows[0]["mean_ms"]
+    assert rows[-1]["msgs_per_call"] > rows[0]["msgs_per_call"]
+    # The tail pays retransmission timeouts: p95 at 30% loss at least
+    # one full retransmission interval above the lossless p95.
+    assert rows[-1]["p95_ms"] > rows[0]["p95_ms"] + RETRANS * 1000 / 2

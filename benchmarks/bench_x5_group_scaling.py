@@ -1,0 +1,73 @@
+"""X5 — group size scaling (extension).
+
+The same workload against groups of 1..16 replicas, in the two acceptance
+regimes.  Expected shape: message cost grows linearly with group size in
+both regimes (the call is multicast to everyone); latency stays nearly
+flat with acceptance-one (first reply wins) but grows slowly with
+acceptance-ALL (max of n samples of the link-delay distribution).
+"""
+
+from _common import attach, run_once, save_result
+
+from repro import LinkSpec, ServiceCluster, ServiceSpec
+from repro.apps import KVStore
+from repro.bench import (
+    ClosedLoopWorkload,
+    banner,
+    read_only_workload,
+    render_table,
+)
+
+LINK = LinkSpec(delay=0.01, jitter=0.01)
+CALLS = 30
+GROUP_SIZES = (1, 2, 4, 8, 16)
+
+
+def run_point(n_servers, accept_all):
+    spec = ServiceSpec(acceptance=n_servers if accept_all else 1,
+                       bounded=10.0)
+    cluster = ServiceCluster(spec, KVStore, n_servers=n_servers, seed=8,
+                             default_link=LINK, keep_trace=False)
+    workload = ClosedLoopWorkload(lambda i: read_only_workload(seed=i),
+                                  calls_per_client=CALLS)
+    result = workload.run(cluster, settle_time=0.5)
+    stats = result.latency_stats().scaled(1000.0)
+    return {"servers": n_servers,
+            "acceptance": "ALL" if accept_all else "1",
+            "mean_ms": stats.mean,
+            "msgs_per_call": result.messages_per_call,
+            "ok": result.ok_ratio}
+
+
+def test_x5_group_scaling(benchmark):
+    def experiment():
+        return [run_point(n, accept_all)
+                for n in GROUP_SIZES for accept_all in (False, True)]
+
+    rows = run_once(benchmark, experiment)
+
+    table = render_table(
+        ["servers", "acceptance", "mean ms", "msgs/call"],
+        [[r["servers"], r["acceptance"], f"{r['mean_ms']:.2f}",
+          f"{r['msgs_per_call']:.1f}"] for r in rows])
+    save_result("x5_group_scaling", "\n".join([
+        banner("X5 — group size scaling",
+               f"read-only workload, {CALLS} calls, link "
+               f"{LINK.delay * 1000:.0f}ms + U(0,"
+               f"{LINK.jitter * 1000:.0f})ms"),
+        table]))
+    attach(benchmark, {f"{r['acceptance']}@{r['servers']}":
+                       round(r["mean_ms"], 2) for r in rows})
+
+    point = {(r["acceptance"], r["servers"]): r for r in rows}
+    assert all(r["ok"] == 1.0 for r in rows)
+    # Message cost scales with the group in both regimes.
+    assert point[("1", 16)]["msgs_per_call"] \
+        > 6 * point[("1", 1)]["msgs_per_call"] / 2
+    # Acceptance-one latency is flat-ish; acceptance-ALL grows (max of n
+    # jitter draws) and is the slower of the two at every size > 1.
+    assert point[("1", 16)]["mean_ms"] < 2 * point[("1", 1)]["mean_ms"]
+    for n in GROUP_SIZES[1:]:
+        assert point[("ALL", n)]["mean_ms"] \
+            >= point[("1", n)]["mean_ms"]
+    assert point[("ALL", 16)]["mean_ms"] > point[("ALL", 2)]["mean_ms"]

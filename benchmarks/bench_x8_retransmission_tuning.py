@@ -1,0 +1,62 @@
+"""X8 — retransmission-timer sensitivity (ablation).
+
+Sweeps Reliable Communication's retransmission timeout under 15% loss.
+Expected shape: a too-aggressive timer wastes messages (duplicates that
+Unique Execution must absorb) at little latency benefit; a too-lazy
+timer saves messages but pays the full timeout on every lost message,
+inflating tail latency.  A knee sits around the network round-trip
+region — the classic timer-tuning trade-off the paper's configurable
+parameter leaves to the deployer.
+"""
+
+from _common import attach, run_once, save_result
+
+from repro import LinkSpec, ServiceCluster
+from repro.apps import KVStore
+from repro.bench import ClosedLoopWorkload, banner, kv_workload, render_table
+from repro.core.config import exactly_once
+
+LINK = LinkSpec(delay=0.01, jitter=0.004, loss=0.15)
+CALLS = 40
+TIMERS = (0.03, 0.06, 0.12, 0.25, 0.5)
+
+
+def run_point(retrans):
+    spec = exactly_once(acceptance=3, bounded=0.0,
+                        retrans_timeout=retrans)
+    cluster = ServiceCluster(spec, KVStore, n_servers=3, seed=9,
+                             default_link=LINK, keep_trace=False)
+    workload = ClosedLoopWorkload(lambda i: kv_workload(seed=i),
+                                  calls_per_client=CALLS)
+    result = workload.run(cluster, settle_time=1.0)
+    stats = result.latency_stats().scaled(1000.0)
+    return {"timer_ms": retrans * 1000, "mean_ms": stats.mean,
+            "p95_ms": stats.p95,
+            "msgs_per_call": result.messages_per_call,
+            "ok": result.ok_ratio}
+
+
+def test_x8_retransmission_tuning(benchmark):
+    def experiment():
+        return [run_point(t) for t in TIMERS]
+
+    rows = run_once(benchmark, experiment)
+
+    table = render_table(
+        ["retransmit timer ms", "mean ms", "p95 ms", "msgs/call"],
+        [[f"{r['timer_ms']:.0f}", f"{r['mean_ms']:.2f}",
+          f"{r['p95_ms']:.2f}", f"{r['msgs_per_call']:.1f}"]
+         for r in rows])
+    save_result("x8_retransmission_tuning", "\n".join([
+        banner("X8 — retransmission timer trade-off",
+               f"15% loss, exactly-once, acceptance=3, {CALLS} calls"),
+        table]))
+    attach(benchmark, {f"{r['timer_ms']:.0f}ms": round(r["mean_ms"], 2)
+                       for r in rows})
+
+    assert all(r["ok"] == 1.0 for r in rows)
+    fastest, laziest = rows[0], rows[-1]
+    # Aggressive timers cost messages; lazy timers cost latency.
+    assert fastest["msgs_per_call"] > laziest["msgs_per_call"]
+    assert laziest["mean_ms"] > fastest["mean_ms"]
+    assert laziest["p95_ms"] > 2 * fastest["p95_ms"]

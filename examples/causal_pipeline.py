@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Causal ordering across clients (extension micro-protocol).
+
+A producer client writes a record, then hands a *causal token* to a
+consumer client (think: a message queue between services).  The consumer
+updates an index entry pointing at the record.  With `ordering="causal"`
+no replica can ever apply the index update before the record it points
+to — even though the clients use acceptance=1 and one replica's links
+are wildly erratic.  The control run shows the anomaly the guarantee
+removes: dangling index entries.
+
+Run:  python examples/causal_pipeline.py
+"""
+
+from repro import LinkSpec, ServiceCluster, ServiceSpec
+from repro.apps import KVStore
+
+
+def run(ordering: str, seed: int) -> int:
+    spec = ServiceSpec(ordering=ordering, unique=True, acceptance=1,
+                       bounded=0.0)
+    cluster = ServiceCluster(spec, KVStore, n_servers=3, n_clients=2,
+                             seed=seed,
+                             default_link=LinkSpec(delay=0.01,
+                                                   jitter=0.12))
+    # One replica suffers performance failures: huge delay variance.
+    cluster.fabric.set_links_to(3, LinkSpec(delay=0.02, jitter=0.5))
+    producer, consumer = cluster.client_pids
+
+    async def scenario():
+        async def produce():
+            await cluster.call(producer, "put",
+                               {"key": "record:42", "value": "payload"})
+
+        task = cluster.spawn_client(producer, produce())
+        await cluster.runtime.join(task)
+
+        if ordering == "causal":
+            token = cluster.grpc(producer).micro("Causal_Order").token()
+            cluster.grpc(consumer).micro("Causal_Order").join(token)
+
+        async def consume():
+            await cluster.call(consumer, "put",
+                               {"key": "index:latest", "value": "record:42"})
+
+        task = cluster.spawn_client(consumer, consume())
+        await cluster.runtime.join(task)
+
+    cluster.run_scenario(scenario(), extra_time=3.0)
+
+    dangling = 0
+    for pid in cluster.server_pids:
+        log = [key for _, key, _ in cluster.app(pid).apply_log]
+        if log.index("index:latest") < log.index("record:42"):
+            dangling += 1
+    return dangling
+
+
+def main() -> None:
+    print("producer writes record:42, consumer (causally after) writes "
+          "index:latest -> record:42\n")
+    for ordering in ("none", "causal"):
+        total = sum(run(ordering, seed) for seed in range(6))
+        label = "no ordering    " if ordering == "none" else \
+                "causal ordering"
+        print(f"{label}: replicas that applied the index BEFORE the "
+              f"record (6 runs x 3 replicas): {total}")
+    print("\nwith causal order, a reader following the index can never "
+          "hit a dangling pointer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Demo server applications exercising the gRPC public API."""
+
+from repro.apps.bank import BankApp
+from repro.apps.compute import ComputeApp
+from repro.apps.counter import CounterApp
+from repro.apps.dispatcher import ServerApp, ServerDispatcher
+from repro.apps.kvstore import KVStore
+from repro.apps.locks import LockService
+from repro.apps.workqueue import WorkQueue
+
+__all__ = [
+    "ServerApp",
+    "ServerDispatcher",
+    "KVStore",
+    "CounterApp",
+    "BankApp",
+    "ComputeApp",
+    "LockService",
+    "WorkQueue",
+]

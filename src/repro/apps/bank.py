@@ -1,0 +1,94 @@
+"""A bank with *stable* state: the probe for atomic-execution semantics.
+
+The paper: "In situations where the server has no stable state ...
+execution is automatically atomic.  On the other hand, if the server does
+have stable state, transactional techniques must be used to guarantee
+atomicity."
+
+Account balances live in the node's :class:`~repro.stablestore.
+StableStore` — they survive crashes.  ``transfer`` performs two separate
+stable writes (debit, then credit) with simulated work in between, so a
+crash mid-transfer leaves the stable state half-updated... unless the
+Atomic Execution micro-protocol is configured, whose checkpoint rollback
+erases the partial debit on recovery.  The invariant probe is
+:meth:`total`: money is conserved iff execution was atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.apps.dispatcher import ServerApp
+from repro.errors import RPCError
+
+__all__ = ["BankApp"]
+
+_PREFIX = "acct:"
+
+
+class BankApp(ServerApp):
+    """Accounts in stable storage; non-atomic multi-write transfers."""
+
+    def __init__(self, initial_accounts: Dict[str, int], *,
+                 transfer_delay: float = 0.01):
+        super().__init__()
+        self.initial_accounts = dict(initial_accounts)
+        self.transfer_delay = transfer_delay
+
+    def bind(self, node) -> None:
+        super().bind(node)
+        for account, balance in self.initial_accounts.items():
+            if _PREFIX + account not in node.stable:
+                node.stable.put(_PREFIX + account, balance)
+
+    # Balances are stable: nothing volatile to lose on crash.
+
+    def get_state(self) -> Any:
+        # The full state is the stable cells (the paper's checkpoint of
+        # "the (volatile and stable) state of the server").
+        return self.node.stable.snapshot_cells()
+
+    def set_state(self, state: Any) -> None:
+        self.node.stable.restore_cells(state)
+
+    # -- internals -------------------------------------------------------
+
+    def _read(self, account: str) -> int:
+        balance = self.node.stable.get(_PREFIX + account)
+        if balance is None:
+            raise RPCError(f"unknown account {account!r}")
+        return balance
+
+    def _write(self, account: str, balance: int) -> None:
+        self.node.stable.put(_PREFIX + account, balance)
+
+    # -- operations ------------------------------------------------------
+
+    async def handle_balance(self, args: Dict[str, Any]) -> int:
+        return self._read(args["account"])
+
+    async def handle_deposit(self, args: Dict[str, Any]) -> int:
+        balance = self._read(args["account"]) + args["amount"]
+        self._write(args["account"], balance)
+        return balance
+
+    async def handle_transfer(self, args: Dict[str, Any]) -> int:
+        """Debit source, *then* credit destination: two stable writes."""
+        amount = args["amount"]
+        self._write(args["src"], self._read(args["src"]) - amount)
+        # The non-atomic window: a crash (or an orphan kill) here leaves
+        # the debit persisted and the credit lost.
+        await self.work(self.transfer_delay)
+        new_balance = self._read(args["dst"]) + amount
+        self._write(args["dst"], new_balance)
+        return new_balance
+
+    async def handle_total(self, args: Dict[str, Any]) -> int:
+        """Sum of all balances — the conservation-of-money invariant."""
+        return sum(self.node.stable.get(key)
+                   for key in self.node.stable.keys()
+                   if key.startswith(_PREFIX))
+
+    async def handle_accounts(self, args: Dict[str, Any]) -> List[str]:
+        return sorted(key[len(_PREFIX):] for key in self.node.stable.keys()
+                      if key.startswith(_PREFIX))

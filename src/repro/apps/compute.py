@@ -1,0 +1,52 @@
+"""A parallel-computation service: the probe for collation semantics.
+
+Each replica computes a (deliberately replica-dependent) result, so the
+client-visible answer depends entirely on the configured collation
+function and acceptance limit — return-any gives the fastest replica's
+value, return-all gives one value per accepted replica, and ``average``
+folds them into one number, the paper's own example of a collation
+function.  Also used for the paper's other motivating uses of group RPC:
+"to implement parallel computation, or to improve response time".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.apps.dispatcher import ServerApp
+
+__all__ = ["ComputeApp"]
+
+
+class ComputeApp(ServerApp):
+    """Replica-dependent measurements and partitioned computation."""
+
+    def __init__(self, replica_value: float, *, op_delay: float = 0.0):
+        super().__init__()
+        self.replica_value = replica_value
+        self.op_delay = op_delay
+
+    # Stateless: nothing to checkpoint or lose.
+
+    async def handle_measure(self, args: Dict[str, Any]) -> float:
+        """Return this replica's local measurement."""
+        await self.work(self.op_delay)
+        return self.replica_value
+
+    async def handle_whoami(self, args: Dict[str, Any]) -> int:
+        """Identify the answering replica (return-any demos)."""
+        await self.work(self.op_delay)
+        return self.node.pid
+
+    async def handle_partial_sum(self, args: Dict[str, Any]) -> float:
+        """Sum the slice of ``values`` this replica is responsible for.
+
+        The group partitions the index space by replica rank; collating
+        with ``sum`` across ALL replicas yields the full reduction — the
+        parallel-computation use of group RPC.
+        """
+        values: List[float] = args["values"]
+        members = sorted(args["members"])
+        rank = members.index(self.node.pid)
+        await self.work(self.op_delay)
+        return float(sum(values[rank::len(members)]))

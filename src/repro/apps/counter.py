@@ -1,0 +1,48 @@
+"""A replicated counter: the minimal probe for execution-count semantics.
+
+``inc`` is deliberately non-idempotent, so the counter's final value
+reveals exactly how many times the server procedure executed — the
+measurement at the heart of the Figure-1 (failure semantics) experiment:
+at-least-once may overshoot under message loss, exactly-once may not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.apps.dispatcher import ServerApp
+
+__all__ = ["CounterApp"]
+
+
+class CounterApp(ServerApp):
+    """In-memory counter with non-idempotent increments."""
+
+    def __init__(self, *, op_delay: float = 0.0):
+        super().__init__()
+        self.value = 0
+        self.increments = 0
+        self.op_delay = op_delay
+
+    def on_crash(self) -> None:
+        self.value = 0
+        self.increments = 0
+
+    def get_state(self) -> Any:
+        return {"value": self.value, "increments": self.increments}
+
+    def set_state(self, state: Any) -> None:
+        self.value = state["value"]
+        self.increments = state["increments"]
+
+    # -- operations ------------------------------------------------------
+
+    async def handle_inc(self, args: Dict[str, Any]) -> int:
+        await self.work(self.op_delay)
+        self.value += args.get("amount", 1)
+        self.increments += 1
+        return self.value
+
+    async def handle_read(self, args: Dict[str, Any]) -> int:
+        await self.work(self.op_delay)
+        return self.value

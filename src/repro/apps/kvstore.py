@@ -1,0 +1,103 @@
+"""A replicated key-value store: the workhorse demo application.
+
+Operations (args are dicts; all values must be plain data):
+
+* ``put {key, value}``        -> previous value (or None)
+* ``get {key}``               -> stored value (or None)
+* ``delete {key}``            -> deleted value (or None)
+* ``keys {}``                 -> sorted key list
+* ``snapshot {}``             -> full dict copy
+
+State is volatile — a crash loses it — which makes the store a clean
+probe for ordering semantics: under Total Order every replica applies the
+same writes in the same order, so snapshots agree; without it, concurrent
+writers can leave replicas divergent.  ``apply_log`` records every
+mutation in order for the ordering invariant checks.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Tuple
+
+from repro.apps.dispatcher import ServerApp
+
+__all__ = ["KVStore"]
+
+
+class KVStore(ServerApp):
+    """In-memory replicated KV store with an application log."""
+
+    def __init__(self, *, op_delay: float = 0.0, keep_log: bool = True):
+        super().__init__()
+        self.data: Dict[str, Any] = {}
+        #: Ordered log of mutations (kind, key, value) for order checking.
+        #: Disable with ``keep_log=False`` when the log would dominate
+        #: checkpoint sizes (e.g. the delta-checkpoint benchmarks).
+        self.apply_log: List[Tuple[str, str, Any]] = []
+        self.keep_log = keep_log
+        self.op_delay = op_delay
+        # Keys written/deleted since the last pop_delta(): the change
+        # tracking behind the paper's delta-checkpoint optimization.
+        self._dirty: set = set()
+
+    def _log(self, entry: Tuple[str, str, Any]) -> None:
+        if self.keep_log:
+            self.apply_log.append(entry)
+
+    def pop_delta(self) -> Any:
+        """State changes since the last checkpoint, for delta-mode
+        Atomic Execution (only when the apply log is off; the log would
+        make every delta O(history))."""
+        if self.keep_log:
+            return None
+        from repro.core.microprotocols.atomic_execution import _DELETED
+        changes = {key: self.data.get(key, _DELETED)
+                   for key in self._dirty}
+        self._dirty.clear()
+        return {"data": {"__nested__": changes}} if changes else {}
+
+    def on_crash(self) -> None:
+        self.data = {}
+        self.apply_log = []
+        self._dirty = set()
+
+    def get_state(self) -> Any:
+        return {"data": copy.deepcopy(self.data),
+                "apply_log": list(self.apply_log)}
+
+    def set_state(self, state: Any) -> None:
+        self.data = copy.deepcopy(state["data"])
+        self.apply_log = list(state["apply_log"])
+        self._dirty = set()
+
+    # -- operations ------------------------------------------------------
+
+    async def handle_put(self, args: Dict[str, Any]) -> Any:
+        # A per-call "delay" overrides the store-wide op_delay, letting
+        # experiments race slow and fast operations against each other.
+        await self.work(args.get("delay", self.op_delay))
+        previous = self.data.get(args["key"])
+        self.data[args["key"]] = args["value"]
+        self._dirty.add(args["key"])
+        self._log(("put", args["key"], args["value"]))
+        return previous
+
+    async def handle_get(self, args: Dict[str, Any]) -> Any:
+        await self.work(self.op_delay)
+        return self.data.get(args["key"])
+
+    async def handle_delete(self, args: Dict[str, Any]) -> Any:
+        await self.work(self.op_delay)
+        value = self.data.pop(args["key"], None)
+        self._dirty.add(args["key"])
+        self._log(("delete", args["key"], None))
+        return value
+
+    async def handle_keys(self, args: Dict[str, Any]) -> List[str]:
+        await self.work(self.op_delay)
+        return sorted(self.data)
+
+    async def handle_snapshot(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        await self.work(self.op_delay)
+        return copy.deepcopy(self.data)

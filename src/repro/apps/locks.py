@@ -1,0 +1,82 @@
+"""A replicated lock service: coordination on top of group RPC.
+
+Demonstrates the replicated-state-machine use the paper's introduction
+motivates with a workload where *agreement itself is the product*: a
+lock grant is only meaningful if every replica grants it to the same
+owner.  Run it under Total Order and the replicas agree by construction;
+run it without ordering and two racing clients can each be granted the
+same lock on different replicas — the benchmark-visible split-brain.
+
+Operations (args are dicts):
+
+* ``acquire {lock, owner}``  -> owner now holding the lock (grantee or
+  the current holder if the lock was taken) — non-blocking test-and-set;
+* ``release {lock, owner}``  -> True if released (only the holder can);
+* ``holder {lock}``          -> current holder (or None);
+* ``locks {}``               -> {lock: holder} snapshot.
+
+State is volatile (a crashed replica forgets its locks), matching the
+lease-free semantics of the simplest coordination kernels.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.dispatcher import ServerApp
+
+__all__ = ["LockService"]
+
+
+class LockService(ServerApp):
+    """In-memory test-and-set locks with an ownership log."""
+
+    def __init__(self, *, op_delay: float = 0.0):
+        super().__init__()
+        self.holders: Dict[str, str] = {}
+        #: Every grant/release in application order, for agreement checks.
+        self.grant_log: List[Tuple[str, str, str]] = []
+        self.op_delay = op_delay
+
+    def on_crash(self) -> None:
+        self.holders = {}
+        self.grant_log = []
+
+    def get_state(self) -> Any:
+        return {"holders": dict(self.holders),
+                "grant_log": list(self.grant_log)}
+
+    def set_state(self, state: Any) -> None:
+        self.holders = dict(state["holders"])
+        self.grant_log = list(state["grant_log"])
+
+    # -- operations ------------------------------------------------------
+
+    async def handle_acquire(self, args: Dict[str, Any]) -> str:
+        """Test-and-set: returns whoever holds the lock afterwards."""
+        await self.work(self.op_delay)
+        lock, owner = args["lock"], args["owner"]
+        current = self.holders.get(lock)
+        if current is None:
+            self.holders[lock] = owner
+            self.grant_log.append(("grant", lock, owner))
+            return owner
+        return current
+
+    async def handle_release(self, args: Dict[str, Any]) -> bool:
+        await self.work(self.op_delay)
+        lock, owner = args["lock"], args["owner"]
+        if self.holders.get(lock) == owner:
+            del self.holders[lock]
+            self.grant_log.append(("release", lock, owner))
+            return True
+        return False
+
+    async def handle_holder(self, args: Dict[str, Any]) -> Optional[str]:
+        await self.work(self.op_delay)
+        return self.holders.get(args["lock"])
+
+    async def handle_locks(self, args: Dict[str, Any]) -> Dict[str, str]:
+        await self.work(self.op_delay)
+        return copy.deepcopy(self.holders)

@@ -1,0 +1,76 @@
+"""A replicated work queue: where exactly-once and FIFO earn their keep.
+
+The queue's operations are maximally sensitive to the RPC semantics:
+
+* ``enqueue`` duplicated = the same job runs twice downstream;
+* ``dequeue`` re-executed = a job silently lost (popped and discarded);
+* out-of-order enqueues = jobs executed out of submission order.
+
+So a correct deployment wants exactly-once (Unique Execution) plus FIFO
+or Total ordering — and the test suite shows precisely which anomaly
+appears when each micro-protocol is removed.
+
+Operations (args are dicts):
+
+* ``enqueue {job}``       -> queue length after the append
+* ``dequeue {}``          -> the oldest job (or None when empty)
+* ``peek {}``             -> oldest job without removing it
+* ``size {}``             -> current length
+* ``drained {}``          -> list of every job ever dequeued, in order
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.apps.dispatcher import ServerApp
+
+__all__ = ["WorkQueue"]
+
+
+class WorkQueue(ServerApp):
+    """In-memory FIFO job queue with a dequeue history."""
+
+    def __init__(self, *, op_delay: float = 0.0):
+        super().__init__()
+        self.jobs: List[Any] = []
+        self.dequeued: List[Any] = []
+        self.op_delay = op_delay
+
+    def on_crash(self) -> None:
+        self.jobs = []
+        self.dequeued = []
+
+    def get_state(self) -> Any:
+        return {"jobs": list(self.jobs), "dequeued": list(self.dequeued)}
+
+    def set_state(self, state: Any) -> None:
+        self.jobs = list(state["jobs"])
+        self.dequeued = list(state["dequeued"])
+
+    # -- operations ------------------------------------------------------
+
+    async def handle_enqueue(self, args: Dict[str, Any]) -> int:
+        await self.work(self.op_delay)
+        self.jobs.append(args["job"])
+        return len(self.jobs)
+
+    async def handle_dequeue(self, args: Dict[str, Any]) -> Optional[Any]:
+        await self.work(self.op_delay)
+        if not self.jobs:
+            return None
+        job = self.jobs.pop(0)
+        self.dequeued.append(job)
+        return job
+
+    async def handle_peek(self, args: Dict[str, Any]) -> Optional[Any]:
+        await self.work(self.op_delay)
+        return self.jobs[0] if self.jobs else None
+
+    async def handle_size(self, args: Dict[str, Any]) -> int:
+        await self.work(self.op_delay)
+        return len(self.jobs)
+
+    async def handle_drained(self, args: Dict[str, Any]) -> List[Any]:
+        await self.work(self.op_delay)
+        return list(self.dequeued)

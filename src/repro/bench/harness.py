@@ -1,0 +1,119 @@
+"""The experiment harness tying specs, clusters and workloads together.
+
+Each benchmark file builds an :class:`Experiment`, adds parameterized
+runs, and prints the regenerated table/series.  The harness keeps runs
+deterministic (explicit seeds) and records the knobs alongside the
+metrics so EXPERIMENTS.md rows can be traced back to exact parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.bench.reporting import banner, render_table
+from repro.bench.stats import LatencyStats
+from repro.bench.workload import ClosedLoopWorkload, Op, WorkloadResult
+from repro.core.config import ServiceSpec
+from repro.core.service import ServiceCluster
+from repro.net.fabric import LinkSpec
+
+__all__ = ["RunConfig", "RunOutcome", "Experiment", "run_one"]
+
+
+@dataclass
+class RunConfig:
+    """Everything needed to reproduce one measured point."""
+
+    label: str
+    spec: ServiceSpec
+    app_factory: Callable[..., Any]
+    n_servers: int = 3
+    n_clients: int = 1
+    seed: int = 0
+    default_link: LinkSpec = field(default_factory=LinkSpec)
+    membership: Optional[str] = None
+    calls_per_client: int = 50
+    make_ops: Optional[Callable[[int], Iterator[Op]]] = None
+    mutate_cluster: Optional[Callable[[ServiceCluster], None]] = None
+
+
+@dataclass
+class RunOutcome:
+    """One measured point: the config, the workload result, the stats."""
+
+    config: RunConfig
+    result: WorkloadResult
+    cluster: ServiceCluster
+
+    @property
+    def latency(self) -> LatencyStats:
+        return self.result.latency_stats()
+
+    def metric(self, name: str) -> float:
+        if name == "throughput":
+            return self.result.throughput
+        if name == "messages_per_call":
+            return self.result.messages_per_call
+        if name == "ok_ratio":
+            return self.result.ok_ratio
+        stats = self.latency
+        if hasattr(stats, name):
+            return getattr(stats, name)
+        raise KeyError(name)
+
+
+def run_one(config: RunConfig) -> RunOutcome:
+    """Build the cluster, drive the workload, return the measurements."""
+    cluster = ServiceCluster(
+        config.spec, config.app_factory,
+        n_servers=config.n_servers, n_clients=config.n_clients,
+        seed=config.seed, default_link=config.default_link,
+        membership=config.membership,
+        keep_trace=False)   # counters only: big runs stay lean
+    if config.mutate_cluster is not None:
+        config.mutate_cluster(cluster)
+    if config.make_ops is None:
+        raise ValueError(f"run {config.label!r} has no workload")
+    workload = ClosedLoopWorkload(
+        config.make_ops, calls_per_client=config.calls_per_client)
+    result = workload.run(cluster)
+    return RunOutcome(config, result, cluster)
+
+
+class Experiment:
+    """A named experiment accumulating comparable runs."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.outcomes: List[RunOutcome] = []
+
+    def run(self, config: RunConfig) -> RunOutcome:
+        outcome = run_one(config)
+        self.outcomes.append(outcome)
+        return outcome
+
+    def table(self, extra_columns: Optional[Dict[str, Callable[
+            [RunOutcome], Any]]] = None) -> str:
+        """The standard results table (+ caller-provided columns)."""
+        headers = ["configuration", "calls", "ok%", "mean ms", "p95 ms",
+                   "msgs/call", "calls/s"]
+        extra = extra_columns or {}
+        headers.extend(extra.keys())
+        rows = []
+        for outcome in self.outcomes:
+            stats = outcome.latency.scaled(1000.0)
+            row = [outcome.config.label, outcome.result.calls,
+                   f"{outcome.result.ok_ratio * 100:.0f}",
+                   f"{stats.mean:.2f}", f"{stats.p95:.2f}",
+                   f"{outcome.result.messages_per_call:.1f}",
+                   f"{outcome.result.throughput:.0f}"]
+            row.extend(fn(outcome) for fn in extra.values())
+            rows.append(row)
+        return "\n".join([banner(self.name, self.description),
+                          render_table(headers, rows)])
+
+    def print(self, **kwargs: Any) -> None:
+        print()
+        print(self.table(**kwargs))

@@ -1,0 +1,65 @@
+"""Plain-text table/figure rendering for the experiment harness.
+
+Every benchmark prints its regenerated table or series through these
+helpers so EXPERIMENTS.md and the bench output stay visually comparable
+to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series", "banner"]
+
+
+def banner(title: str, subtitle: str = "") -> str:
+    """A header block naming the experiment (e.g. 'Figure 1')."""
+    line = "=" * max(len(title), len(subtitle), 40)
+    parts = [line, title]
+    if subtitle:
+        parts.append(subtitle)
+    parts.append(line)
+    return "\n".join(parts)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]]) -> str:
+    """Fixed-width ASCII table with a header rule."""
+    materialized: List[List[str]] = [[_fmt(c) for c in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def render_series(x_label: str, y_label: str,
+                  points: Iterable[Sequence[Any]], *,
+                  bar: bool = True, width: int = 40) -> str:
+    """A one-series 'figure': x, y and an optional ASCII bar."""
+    pts = [(p[0], float(p[1])) for p in points]
+    if not pts:
+        return f"{x_label} vs {y_label}: (no data)"
+    peak = max(y for _, y in pts) or 1.0
+    rows = []
+    for x, y in pts:
+        cells = [_fmt(x), _fmt(y)]
+        if bar:
+            cells.append("#" * max(1, int(round(y / peak * width))))
+        rows.append(cells)
+    headers = [x_label, y_label] + (["plot"] if bar else [])
+    return render_table(headers, rows)

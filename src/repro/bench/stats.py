@@ -1,0 +1,62 @@
+"""Latency/throughput statistics for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["LatencyStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample set (times in seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def scaled(self, factor: float) -> "LatencyStats":
+        """Same stats in another unit (e.g. ``scaled(1000)`` for ms)."""
+        return LatencyStats(
+            count=self.count, mean=self.mean * factor,
+            p50=self.p50 * factor, p95=self.p95 * factor,
+            p99=self.p99 * factor, minimum=self.minimum * factor,
+            maximum=self.maximum * factor, stdev=self.stdev * factor)
+
+    def __str__(self) -> str:
+        ms = self.scaled(1000.0)
+        return (f"n={self.count} mean={ms.mean:.2f}ms p50={ms.p50:.2f}ms "
+                f"p95={ms.p95:.2f}ms max={ms.maximum:.2f}ms")
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile on pre-sorted samples."""
+    if not sorted_samples:
+        raise ValueError("no samples")
+    rank = max(0, min(len(sorted_samples) - 1,
+                      math.ceil(q / 100.0 * len(sorted_samples)) - 1))
+    return sorted_samples[rank]
+
+
+def summarize(samples: Sequence[float]) -> LatencyStats:
+    """Compute the standard summary over raw latency samples."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    ordered = sorted(samples)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((x - mean) ** 2 for x in ordered) / n
+    return LatencyStats(
+        count=n, mean=mean,
+        p50=percentile(ordered, 50.0),
+        p95=percentile(ordered, 95.0),
+        p99=percentile(ordered, 99.0),
+        minimum=ordered[0], maximum=ordered[-1],
+        stdev=math.sqrt(variance))

@@ -1,0 +1,72 @@
+"""The paper's primary contribution: the configurable gRPC composite.
+
+Submodules: the event framework (:mod:`repro.core.events`,
+:mod:`repro.core.framework`), shared state (:mod:`repro.core.state`),
+message types (:mod:`repro.core.messages`), the composite itself
+(:mod:`repro.core.grpc`), the micro-protocols
+(:mod:`repro.core.microprotocols`), configuration and enumeration
+(:mod:`repro.core.config`, :mod:`repro.core.enumerate`), the property
+taxonomy (:mod:`repro.core.properties`) and the cluster builder
+(:mod:`repro.core.service`).
+"""
+
+from repro.core.config import (
+    ServiceSpec,
+    at_least_once,
+    at_most_once,
+    exactly_once,
+    read_optimized,
+    replicated_state_machine,
+    validate,
+)
+from repro.core.events import LOWEST_PRIORITY, TIMEOUT, EventBus
+from repro.core.framework import CompositeProtocol, MicroProtocol
+from repro.core.grpc import (
+    CALL_FROM_USER,
+    MEMBERSHIP_CHANGE,
+    MSG_FROM_NETWORK,
+    NEW_RPC_CALL,
+    RECOVERY,
+    REPLY_FROM_SERVER,
+    GroupRPC,
+)
+from repro.core.messages import (
+    CallResult,
+    MemChange,
+    NetMsg,
+    NetOp,
+    Status,
+    UserMsg,
+    UserOp,
+)
+from repro.core.service import ServiceCluster
+
+__all__ = [
+    "ServiceSpec",
+    "validate",
+    "at_least_once",
+    "exactly_once",
+    "at_most_once",
+    "read_optimized",
+    "replicated_state_machine",
+    "EventBus",
+    "TIMEOUT",
+    "LOWEST_PRIORITY",
+    "CompositeProtocol",
+    "MicroProtocol",
+    "GroupRPC",
+    "CALL_FROM_USER",
+    "NEW_RPC_CALL",
+    "REPLY_FROM_SERVER",
+    "MSG_FROM_NETWORK",
+    "RECOVERY",
+    "MEMBERSHIP_CHANGE",
+    "NetMsg",
+    "NetOp",
+    "UserMsg",
+    "UserOp",
+    "Status",
+    "MemChange",
+    "CallResult",
+    "ServiceCluster",
+]

@@ -1,0 +1,312 @@
+"""Event registration, triggering and handler dispatch (Section 3).
+
+This is the runtime the paper's composite protocols are linked against.
+It provides exactly the four framework operations of Section 3:
+
+``register(event, handler, priority)``
+    Request that ``handler`` run when ``event`` occurs.  For sequential
+    events, handlers execute in ascending priority order; omitting the
+    priority registers at the *lowest* priority (runs last).  Registering
+    for the special :data:`TIMEOUT` event interprets the priority argument
+    as a time interval and arms a **one-shot** timer, exactly as in the
+    paper.
+
+``trigger(event, *args)``
+    Execute every handler registered for ``event``, passing ``args``.
+    Dispatch is *sequential and blocking*: the handlers run one after
+    another in the triggering task, and ``trigger`` returns when the last
+    one finishes (or the event is cancelled).
+
+``deregister(event, handler)``
+    Reverse a registration (including a pending TIMEOUT).
+
+``cancel_event()``
+    Abort the remaining handlers of the event currently being dispatched
+    in the calling task.  Callable synchronously from inside a handler, as
+    the paper's micro-protocols do (``cancel_event(); exit()``).
+
+The paper's model also defines the other dispatch modes: "the invocation
+of event handlers ... can be sequential ... or concurrent — performed
+concurrently with each event handler given its own thread of control.
+The invocation itself can be blocking ... or non-blocking".  All four
+combinations are provided (:meth:`EventBus.trigger`,
+:meth:`EventBus.trigger_nonblocking`,
+:meth:`EventBus.trigger_concurrent`); the micro-protocols of Section 4
+use only blocking-sequential dispatch, and concurrency across *messages*
+comes from each network arrival being dispatched in its own task.
+``cancel_event`` affects only sequential dispatch, as the paper notes
+("mostly useful for sequential events").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import KernelError
+from repro.runtime.base import Runtime
+
+__all__ = ["EventBus", "TIMEOUT", "LOWEST_PRIORITY", "Registration"]
+
+#: The distinguished one-shot timer event (Section 3).
+TIMEOUT = "TIMEOUT"
+
+#: Default priority: runs after every explicitly prioritized handler.
+LOWEST_PRIORITY = 1_000_000
+
+#: Handlers are async callables taking the trigger's positional arguments.
+Handler = Callable[..., Awaitable[None]]
+
+
+class Registration:
+    """One (event, handler, priority) registration record."""
+
+    __slots__ = ("event", "handler", "priority", "seq", "timer")
+
+    def __init__(self, event: str, handler: Handler, priority: float,
+                 seq: int):
+        self.event = event
+        self.handler = handler
+        self.priority = priority
+        self.seq = seq
+        self.timer: Any = None  # only for TIMEOUT registrations
+
+    def sort_key(self) -> Tuple[float, int]:
+        return (self.priority, self.seq)
+
+
+class _Dispatch:
+    """Bookkeeping for one in-progress ``trigger`` call."""
+
+    __slots__ = ("event", "cancelled")
+
+    def __init__(self, event: str):
+        self.event = event
+        self.cancelled = False
+
+
+class EventBus:
+    """Per-composite-protocol event registry and dispatcher."""
+
+    def __init__(self, runtime: Runtime, spawner: Optional[Callable] = None):
+        self.runtime = runtime
+        # Expired TIMEOUT handlers run in fresh tasks created through this
+        # spawner; composites owned by a node pass a node-scoped spawner so
+        # a site crash also kills its in-flight timeout handlers.
+        self._spawn = spawner or runtime.spawn
+        self._handlers: Dict[str, List[Registration]] = {}
+        self._seq = 0
+        # Stack of active dispatches per task, keyed by id(task handle),
+        # so cancel_event() from interleaved tasks cannot cross wires.
+        self._active: Dict[int, List[_Dispatch]] = {}
+        self._timeout_regs: List[Registration] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, event: str, handler: Handler,
+                 priority: Optional[float] = None) -> Registration:
+        """Register ``handler`` for ``event``.
+
+        For ordinary events ``priority`` orders handlers (lower runs
+        earlier; ``None`` means lowest).  For :data:`TIMEOUT`, ``priority``
+        is the timeout interval in seconds and the handler will run exactly
+        once, ``interval`` from now, unless deregistered first.
+        """
+        self._seq += 1
+        if event == TIMEOUT:
+            if priority is None:
+                raise KernelError("TIMEOUT registration requires an interval")
+            reg = Registration(event, handler, float(priority), self._seq)
+            reg.timer = self.runtime.call_later(
+                float(priority), lambda: self._fire_timeout(reg))
+            self._timeout_regs.append(reg)
+            return reg
+        if priority is None:
+            priority = LOWEST_PRIORITY
+        reg = Registration(event, handler, float(priority), self._seq)
+        self._handlers.setdefault(event, []).append(reg)
+        self._handlers[event].sort(key=Registration.sort_key)
+        return reg
+
+    def deregister(self, event: str, handler: Handler) -> bool:
+        """Remove the first registration matching (event, handler).
+
+        Returns True if a registration was removed.  Deregistering a
+        pending TIMEOUT cancels its timer.
+        """
+        if event == TIMEOUT:
+            for reg in self._timeout_regs:
+                if reg.handler == handler:
+                    reg.timer.cancel()
+                    self._timeout_regs.remove(reg)
+                    return True
+            return False
+        regs = self._handlers.get(event, [])
+        for reg in regs:
+            if reg.handler == handler:
+                regs.remove(reg)
+                return True
+        return False
+
+    def registrations(self, event: str) -> List[Registration]:
+        """The current registrations for ``event`` in dispatch order."""
+        return list(self._handlers.get(event, []))
+
+    def registration_table(self) -> Dict[str, List[str]]:
+        """Event -> ordered handler names; regenerates Figure 3's wiring."""
+        table = {}
+        for event, regs in sorted(self._handlers.items()):
+            table[event] = [getattr(r.handler, "__qualname__",
+                                    repr(r.handler)) for r in regs]
+        return table
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+
+    async def trigger(self, event: str, *args: Any) -> bool:
+        """Run all handlers for ``event`` sequentially, in priority order.
+
+        Returns ``True`` if every handler ran, ``False`` if some handler
+        cancelled the event.  The handler list is snapshotted at trigger
+        time, so registrations made by handlers take effect from the next
+        occurrence of the event.
+        """
+        snapshot = list(self._handlers.get(event, []))
+        if not snapshot:
+            return True
+        dispatch = _Dispatch(event)
+        task_key = id(self.runtime.current_handle_nowait())
+        stack = self._active.setdefault(task_key, [])
+        stack.append(dispatch)
+        try:
+            for reg in snapshot:
+                if dispatch.cancelled:
+                    break
+                await reg.handler(*args)
+        finally:
+            self._pop_dispatch(task_key, stack, dispatch)
+        return not dispatch.cancelled
+
+    def _pop_dispatch(self, task_key: int, stack: List[_Dispatch],
+                      dispatch: _Dispatch) -> None:
+        """Unwind one dispatch record, tolerating crash teardown.
+
+        A node crash clears ``_active`` while cancelled tasks are still
+        unwinding their ``trigger`` calls, so the record (or the whole
+        stack) may already be gone.
+        """
+        if dispatch in stack:
+            stack.remove(dispatch)
+        if not stack and self._active.get(task_key) is stack:
+            self._active.pop(task_key, None)
+
+    def trigger_nonblocking(self, event: str, *args: Any) -> None:
+        """Sequential dispatch in a fresh task; the caller continues.
+
+        The paper's non-blocking invocation: "the invoker continues
+        execution without waiting".  Handler order and ``cancel_event``
+        semantics are identical to :meth:`trigger`; only the caller's
+        synchrony changes.
+        """
+        self._spawn(self.trigger(event, *args),
+                    name=f"nb-{event}", daemon=True)
+
+    async def trigger_concurrent(self, event: str, *args: Any,
+                                 blocking: bool = True) -> None:
+        """Run every registered handler in its own task.
+
+        The paper's concurrent invocation: "performed concurrently with
+        each event handler given its own thread of control".  With
+        ``blocking=True`` the caller "waits until all the event handlers
+        registered for the event have finished execution"; with
+        ``blocking=False`` it continues immediately.  ``cancel_event``
+        inside a concurrent handler affects only that handler's own
+        chain — there is no shared sequence to abort.
+        """
+        snapshot = list(self._handlers.get(event, []))
+        handles = [
+            self._spawn(self._run_concurrent(event, reg, args),
+                        name=f"cc-{event}-{reg.seq}", daemon=True)
+            for reg in snapshot
+        ]
+        if blocking:
+            for handle in handles:
+                if handle is not None:
+                    await self.runtime.join(handle)
+
+    async def _run_concurrent(self, event: str, reg: Registration,
+                              args: tuple) -> None:
+        dispatch = _Dispatch(event)
+        task_key = id(self.runtime.current_handle_nowait())
+        stack = self._active.setdefault(task_key, [])
+        stack.append(dispatch)
+        try:
+            await reg.handler(*args)
+        finally:
+            self._pop_dispatch(task_key, stack, dispatch)
+
+    def cancel_event(self) -> None:
+        """Cancel the event currently dispatching in the calling task.
+
+        The remaining handlers registered for this occurrence are skipped.
+        Mirrors the paper's ``cancel_event()`` framework operation; a
+        handler typically follows it with ``return`` (the paper's
+        ``exit()``).
+        """
+        task_key = id(self.runtime.current_handle_nowait())
+        stack = self._active.get(task_key)
+        if not stack:
+            raise KernelError("cancel_event() outside of event dispatch")
+        stack[-1].cancelled = True
+
+    def in_dispatch(self) -> Optional[str]:
+        """Name of the event the calling task is dispatching, if any."""
+        task_key = id(self.runtime.current_handle_nowait())
+        stack = self._active.get(task_key)
+        return stack[-1].event if stack else None
+
+    # ------------------------------------------------------------------
+    # TIMEOUT plumbing
+    # ------------------------------------------------------------------
+
+    def _fire_timeout(self, reg: Registration) -> None:
+        if reg not in self._timeout_regs:
+            return
+        self._timeout_regs.remove(reg)
+        self._spawn(self._run_timeout(reg),
+                    name=f"timeout-{reg.seq}", daemon=True)
+
+    async def _run_timeout(self, reg: Registration) -> None:
+        """Run one expired TIMEOUT handler as its own (cancellable) event."""
+        dispatch = _Dispatch(TIMEOUT)
+        task_key = id(self.runtime.current_handle_nowait())
+        stack = self._active.setdefault(task_key, [])
+        stack.append(dispatch)
+        try:
+            await reg.handler()
+        finally:
+            self._pop_dispatch(task_key, stack, dispatch)
+
+    def pending_timeouts(self) -> int:
+        """Number of armed TIMEOUT registrations (test/debug aid)."""
+        return len(self._timeout_regs)
+
+    def cancel_pending_timeouts(self) -> None:
+        """Disarm every pending TIMEOUT (part of crash teardown)."""
+        for reg in self._timeout_regs:
+            reg.timer.cancel()
+        self._timeout_regs.clear()
+
+    def clear(self) -> None:
+        """Drop every registration and cancel pending timers.
+
+        Used when a node crashes: the composite protocol's volatile wiring
+        is rebuilt from scratch on recovery.
+        """
+        self._handlers.clear()
+        for reg in self._timeout_regs:
+            reg.timer.cancel()
+        self._timeout_regs.clear()
+        self._active.clear()

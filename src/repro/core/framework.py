@@ -1,0 +1,136 @@
+"""Micro-protocols and composite protocols (Section 3).
+
+A **micro-protocol** is "a collection of event handlers, which are
+procedure-like segments of code that are invoked when an event occurs";
+a **composite protocol** is "the object formed by the linking of a
+collection of micro-protocols and associated framework".  The composite
+exports the x-kernel Uniform Protocol Interface so it composes
+hierarchically with other protocols, "even though its internal structure
+is richer than a standard x-kernel protocol".
+
+:class:`MicroProtocol` is the base class all of Section 4's
+micro-protocols derive from; :class:`CompositeProtocol` owns the
+:class:`~repro.core.events.EventBus` and the shared data the
+micro-protocols operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.events import EventBus, Handler, Registration
+from repro.errors import ConfigurationError
+from repro.runtime.base import Runtime
+from repro.xkernel.upi import Protocol
+
+__all__ = ["MicroProtocol", "CompositeProtocol"]
+
+
+class MicroProtocol:
+    """Base class for micro-protocols.
+
+    Subclasses implement :meth:`configure`, registering their event
+    handlers with the framework — the moral equivalent of the
+    ``register(...)`` statements at the bottom of each micro-protocol in
+    the paper's pseudocode.  Construction parameters (timeouts, acceptance
+    limits, collation functions) are ordinary ``__init__`` arguments.
+    """
+
+    #: Human-readable name; doubles as the configuration-graph key.
+    protocol_name: str = ""
+
+    def __init__(self) -> None:
+        self.composite: Optional["CompositeProtocol"] = None
+
+    # -- wiring ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.protocol_name or type(self).__name__
+
+    def attach(self, composite: "CompositeProtocol") -> None:
+        if self.composite is not None:
+            raise ConfigurationError(
+                f"{self.name} is already attached to a composite")
+        self.composite = composite
+        self.configure()
+
+    def configure(self) -> None:
+        """Register event handlers; runs when attached and on reboot."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reinitialize *volatile* state after a site crash.
+
+        Called by the composite during recovery, just before
+        :meth:`configure` re-installs the handlers, modelling the process
+        being relinked from scratch at reboot.  State the paper marks
+        ``stable`` (e.g. Atomic Execution's checkpoint addresses) must NOT
+        be cleared here.  Default: nothing to reset.
+        """
+
+    # -- framework operations (Section 3) --------------------------------
+
+    @property
+    def bus(self) -> EventBus:
+        assert self.composite is not None
+        return self.composite.bus
+
+    @property
+    def runtime(self) -> Runtime:
+        assert self.composite is not None
+        return self.composite.runtime
+
+    def register(self, event: str, handler: Handler,
+                 priority: Optional[float] = None) -> Registration:
+        return self.bus.register(event, handler, priority)
+
+    def deregister(self, event: str, handler: Handler) -> bool:
+        return self.bus.deregister(event, handler)
+
+    async def trigger(self, event: str, *args: Any) -> bool:
+        return await self.bus.trigger(event, *args)
+
+    def cancel_event(self) -> None:
+        self.bus.cancel_event()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MicroProtocol {self.name}>"
+
+
+class CompositeProtocol(Protocol):
+    """A framework instance plus the micro-protocols linked into it.
+
+    Exposes the x-kernel UPI (push/pop) so the composite can sit in a
+    protocol stack between the user protocol and the transport.  Concrete
+    composites (:class:`repro.core.grpc.GroupRPC`) add the shared data
+    structures their micro-protocols need.
+    """
+
+    def __init__(self, name: str, runtime: Runtime,
+                 spawner: Optional[Any] = None):
+        super().__init__(name)
+        self.runtime = runtime
+        self.bus = EventBus(runtime, spawner)
+        self.micro_protocols: List[MicroProtocol] = []
+
+    def add(self, *micros: MicroProtocol) -> "CompositeProtocol":
+        """Link micro-protocols into this composite (order preserved).
+
+        This is the paper's parallel composition operator ``||``: each
+        micro-protocol's ``configure`` runs, installing its handlers.
+        """
+        for micro in micros:
+            self.micro_protocols.append(micro)
+            micro.attach(self)
+        return self
+
+    def micro(self, name: str) -> MicroProtocol:
+        """Look up a linked micro-protocol by name."""
+        for micro in self.micro_protocols:
+            if micro.name == name:
+                return micro
+        raise KeyError(name)
+
+    def has_micro(self, name: str) -> bool:
+        return any(m.name == name for m in self.micro_protocols)

@@ -1,0 +1,129 @@
+"""The semantic property taxonomy of Sections 2.1–2.2 (Figures 1 and 2).
+
+This module is pure data + helpers: it records the property categories of
+point-to-point and group RPC, the variants of each, the logical
+dependencies between properties (Figure 2's edges), and the mapping from
+traditional failure-semantics names to property combinations (Figure 1).
+The Figure-1/Figure-2 benchmarks regenerate their tables from here and
+the conformance tests check the running system against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "PropertyCategory",
+    "CATEGORIES",
+    "PROPERTY_DEPENDENCIES",
+    "FAILURE_SEMANTICS_MATRIX",
+    "failure_semantics_name",
+    "figure1_rows",
+    "figure2_edges",
+]
+
+
+@dataclass(frozen=True)
+class PropertyCategory:
+    """One property box of Figure 2 with its variant sub-boxes."""
+
+    name: str
+    description: str
+    variants: Tuple[str, ...]
+    group_only: bool = False
+
+
+#: The taxonomy of Section 2, in the paper's order of presentation.
+CATEGORIES: List[PropertyCategory] = [
+    PropertyCategory(
+        "failure",
+        "guarantees about execution of the server procedure",
+        ("unique execution", "non-unique execution",
+         "atomic execution", "non-atomic execution")),
+    PropertyCategory(
+        "call",
+        "synchrony of the client call",
+        ("synchronous", "asynchronous")),
+    PropertyCategory(
+        "orphan handling",
+        "treatment of computations whose client failed",
+        ("ignore orphans", "avoid orphan interference",
+         "terminate orphans")),
+    PropertyCategory(
+        "communication",
+        "reliability of client/server communication",
+        ("reliable communication", "unreliable communication")),
+    PropertyCategory(
+        "termination",
+        "guarantees about termination of a call",
+        ("bounded termination", "unbounded termination")),
+    PropertyCategory(
+        "ordering",
+        "order of concurrent calls at the server group",
+        ("no order", "FIFO order", "total order"),
+        group_only=True),
+    PropertyCategory(
+        "collation",
+        "how group replies are combined",
+        ("one", "all", "user function"),
+        group_only=True),
+    PropertyCategory(
+        "acceptance",
+        "how many servers must succeed",
+        ("k of n", "all"),
+        group_only=True),
+    PropertyCategory(
+        "membership",
+        "treatment of server failure and recovery",
+        ("static membership", "dynamic membership"),
+        group_only=True),
+]
+
+#: Figure 2's logical dependencies: (dependent variant, prerequisite
+#: variant) — "a property p1 depends on property p2 if p2 must hold in
+#: order for p1 to hold".  The ordering→reliability edge is the example
+#: the paper calls out explicitly.
+PROPERTY_DEPENDENCIES: List[Tuple[str, str]] = [
+    ("FIFO order", "reliable communication"),
+    ("total order", "reliable communication"),
+    ("total order", "unique execution"),
+    ("atomic execution", "unique execution"),
+    ("avoid orphan interference", "reliable communication"),
+    ("all (acceptance)", "dynamic membership"),
+]
+
+#: Figure 1: traditional failure semantics as combinations of the unique
+#: and atomic execution properties.
+FAILURE_SEMANTICS_MATRIX: Dict[str, Dict[str, bool]] = {
+    "at least once": {"unique": False, "atomic": False},
+    "exactly once": {"unique": True, "atomic": False},
+    "at most once": {"unique": True, "atomic": True},
+}
+
+
+def failure_semantics_name(unique: bool, atomic: bool) -> str:
+    """Classify a (unique, atomic) pair per Figure 1.
+
+    The fourth combination — atomic but not unique — is not a traditional
+    semantics; the paper's matrix omits it and we label it explicitly.
+    """
+    for name, props in FAILURE_SEMANTICS_MATRIX.items():
+        if props["unique"] == unique and props["atomic"] == atomic:
+            return name
+    return "atomic, non-unique (unnamed)"
+
+
+def figure1_rows() -> List[Tuple[str, str, str]]:
+    """(semantics, unique?, atomic?) rows exactly as Figure 1 prints."""
+    rows = []
+    for name, props in FAILURE_SEMANTICS_MATRIX.items():
+        rows.append((name,
+                     "YES" if props["unique"] else "NO",
+                     "YES" if props["atomic"] else "NO"))
+    return rows
+
+
+def figure2_edges() -> List[Tuple[str, str]]:
+    """Dependency edges of the property graph."""
+    return list(PROPERTY_DEPENDENCIES)

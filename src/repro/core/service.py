@@ -1,0 +1,269 @@
+"""One-call construction of a complete group RPC deployment.
+
+:class:`ServiceCluster` assembles everything the lower layers provide —
+simulated fabric, nodes, per-node protocol stacks (dispatcher / gRPC /
+demux / transport), membership service — from a
+:class:`~repro.core.config.ServiceSpec` and an application factory.  It is
+the entry point used by the examples, the integration tests, and the
+benchmark harness.
+
+Layout: servers get process ids ``1..n_servers`` (so the Total Order
+leader is the highest-numbered server), clients get ids from 101 up.
+Every node runs the same composite configuration, as in the paper's
+model; servers additionally carry the application dispatcher on top.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Coroutine, Dict, List, Optional, Union
+
+from repro.apps.dispatcher import ServerApp, ServerDispatcher
+from repro.core.config import ServiceSpec
+from repro.core.grpc import GroupRPC
+from repro.core.messages import CallResult, NetMsg
+from repro.core.microprotocols import CallObserver, CallTraceLog
+from repro.errors import ReproError, TaskCancelled
+from repro.membership import HeartbeatMembership, OracleMembership
+from repro.net import (
+    Group,
+    LinkSpec,
+    NetworkFabric,
+    Node,
+    UnreliableTransport,
+)
+from repro.runtime import SimRuntime
+from repro.sim import RandomSource
+from repro.xkernel import TypeDemux, compose_stack
+
+__all__ = ["ServiceCluster", "CLIENT_BASE_PID"]
+
+#: Client process ids start here, well above any realistic group size.
+CLIENT_BASE_PID = 101
+
+
+def _instantiate_app(factory: Callable[..., ServerApp],
+                     pid: int) -> ServerApp:
+    """Build one server app, passing the pid if the factory accepts one.
+
+    Lets callers pass a zero-argument class (``KVStore``) or a
+    pid-consuming factory (``lambda pid: ComputeApp(pid * 10.0)``).
+    """
+    try:
+        signature = inspect.signature(factory)
+        takes_pid = any(
+            p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD,
+                       p.VAR_POSITIONAL)
+            for p in signature.parameters.values())
+    except (TypeError, ValueError):  # builtins without signatures
+        takes_pid = True
+    return factory(pid) if takes_pid else factory()
+
+
+class ServiceCluster:
+    """A ready-to-run simulated deployment of one gRPC configuration."""
+
+    def __init__(self, spec: ServiceSpec,
+                 app_factory: Callable[[int], ServerApp], *,
+                 n_servers: int = 3, n_clients: int = 1,
+                 seed: int = 0,
+                 default_link: LinkSpec = LinkSpec(),
+                 membership: Optional[str] = None,
+                 membership_delay: float = 0.0,
+                 heartbeat_interval: float = 0.05,
+                 keep_trace: bool = True,
+                 observe: bool = False,
+                 runtime: Optional[SimRuntime] = None):
+        """``membership`` is ``None``, ``"oracle"`` or ``"heartbeat"``.
+
+        ``observe=True`` links a read-only Call Observer micro-protocol
+        into every composite and exposes the shared timeline as
+        ``cluster.call_log``.
+        """
+        if n_servers < 1:
+            raise ReproError("need at least one server")
+        self.spec = spec
+        self.runtime = runtime or SimRuntime()
+        self.fabric = NetworkFabric(
+            self.runtime, rand=RandomSource(seed),
+            default_link=default_link)
+        self.fabric.trace.keep_events = keep_trace
+
+        self.server_pids = list(range(1, n_servers + 1))
+        self.client_pids = list(range(CLIENT_BASE_PID,
+                                      CLIENT_BASE_PID + n_clients))
+        self.group = Group("servers", self.server_pids)
+
+        self.nodes: Dict[int, Node] = {}
+        self.grpcs: Dict[int, GroupRPC] = {}
+        self.dispatchers: Dict[int, ServerDispatcher] = {}
+        self.apps: Dict[int, ServerApp] = {}
+        self.demuxes: Dict[int, TypeDemux] = {}
+        #: Shared per-call timeline when ``observe=True`` (else None).
+        self.call_log = CallTraceLog() if observe else None
+
+        for pid in self.server_pids:
+            self._build_node(pid, _instantiate_app(app_factory, pid))
+        for pid in self.client_pids:
+            self._build_node(pid, None)
+
+        self._membership = None
+        if membership == "oracle":
+            self._membership = OracleMembership(self.fabric,
+                                                delay=membership_delay)
+            for grpc in self.grpcs.values():
+                self._membership.connect(grpc)
+        elif membership == "heartbeat":
+            self._membership = HeartbeatMembership(
+                interval=heartbeat_interval)
+            everyone = self.server_pids + self.client_pids
+            for pid in everyone:
+                self._membership.attach(self.grpcs[pid],
+                                        self.demuxes[pid], everyone)
+            self._membership.start_all()
+        elif membership is not None:
+            raise ReproError(f"unknown membership mode {membership!r}")
+
+    # ------------------------------------------------------------------
+    # Construction internals
+    # ------------------------------------------------------------------
+
+    def _build_node(self, pid: int, app: Optional[ServerApp]) -> None:
+        node = Node(pid, self.runtime, self.fabric)
+        grpc = GroupRPC(node)
+        grpc.add(*self.spec.build())
+        if self.call_log is not None:
+            grpc.add(CallObserver(self.call_log))
+        demux = TypeDemux(f"demux@{pid}")
+        transport = UnreliableTransport(node)
+        compose_stack(demux, transport)
+        demux.attach(NetMsg, grpc)
+        if app is not None:
+            dispatcher = ServerDispatcher(node, app)
+            compose_stack(dispatcher, grpc)  # only links this pair;
+            # grpc.lower stays routed through the demux.
+            self.dispatchers[pid] = dispatcher
+            self.apps[pid] = app
+        node.start()
+        self.nodes[pid] = node
+        self.grpcs[pid] = grpc
+        self.demuxes[pid] = demux
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def trace(self):
+        return self.fabric.trace
+
+    def node(self, pid: int) -> Node:
+        return self.nodes[pid]
+
+    def grpc(self, pid: int) -> GroupRPC:
+        return self.grpcs[pid]
+
+    def app(self, pid: int) -> ServerApp:
+        return self.apps[pid]
+
+    def dispatcher(self, pid: int) -> ServerDispatcher:
+        return self.dispatchers[pid]
+
+    @property
+    def client(self) -> int:
+        """The first client's pid (single-client shorthand)."""
+        return self.client_pids[0]
+
+    # ------------------------------------------------------------------
+    # Driving the simulation
+    # ------------------------------------------------------------------
+
+    def spawn_client(self, pid: int, coro: Coroutine, *,
+                     name: str = "") -> Any:
+        """Run client code as a task owned by client node ``pid``.
+
+        The task dies if that client crashes — required for the orphan
+        experiments to be meaningful.
+        """
+        return self.nodes[pid].spawn(coro, name=name or f"client-{pid}")
+
+    async def call(self, client_pid: int, op: str, args: Any) -> CallResult:
+        """Issue one call from ``client_pid`` (await from a client task)."""
+        return await self.grpcs[client_pid].call(op, args, self.group)
+
+    def call_and_run(self, op: str, args: Any, *,
+                     client_pid: Optional[int] = None,
+                     extra_time: float = 0.0) -> CallResult:
+        """Blockingly run one call to completion from outside the kernel.
+
+        Spawns the call on the client node, drives the simulation until it
+        finishes, optionally runs ``extra_time`` more virtual seconds (to
+        let retransmissions and acks drain), and returns the result.
+        """
+        pid = client_pid if client_pid is not None else self.client
+        results: List[CallResult] = []
+
+        async def issue() -> None:
+            results.append(await self.call(pid, op, args))
+
+        task = self.spawn_client(pid, issue())
+
+        async def supervise() -> None:
+            try:
+                await self.runtime.join(task)
+            except TaskCancelled:
+                pass
+
+        self.runtime.run(supervise(), shutdown=False)
+        if extra_time > 0:
+            self.runtime.run_for(extra_time)
+        if not results:
+            raise TaskCancelled("client crashed before the call returned")
+        return results[0]
+
+    def run_scenario(self, coro: Coroutine, *,
+                     extra_time: float = 0.0) -> Any:
+        """Run an arbitrary scenario coroutine to completion.
+
+        The scenario runs as a plain kernel task (not owned by any node),
+        so it survives node crashes; spawn node-owned work from within it
+        via :meth:`spawn_client`.
+        """
+        result = self.runtime.run(coro, shutdown=False)
+        if extra_time > 0:
+            self.runtime.run_for(extra_time)
+        return result
+
+    def settle(self, duration: float) -> None:
+        """Advance virtual time (heartbeats, retransmits, timeouts)."""
+        self.runtime.run_for(duration)
+
+    def shutdown(self) -> None:
+        """Tear the whole deployment down, cancelling in-flight work.
+
+        Only needed when an experiment intentionally ends with calls
+        still in progress (overload studies); normal runs drain
+        naturally.
+        """
+        self.runtime.kernel.shutdown()
+
+    # ------------------------------------------------------------------
+    # Fault injection shorthands
+    # ------------------------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        self.nodes[pid].crash()
+
+    def recover(self, pid: int) -> None:
+        self.nodes[pid].recover()
+
+    def partition(self, side_a, side_b) -> None:
+        self.fabric.partition(side_a, side_b)
+
+    def heal(self) -> None:
+        self.fabric.heal()
+
+    def make_slow(self, pid: int, delay: float) -> None:
+        """Give every link toward ``pid`` a large delay (performance
+        failure)."""
+        self.fabric.set_links_to(pid, LinkSpec(delay=delay, jitter=0.0))

@@ -1,0 +1,86 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+Task cancellation intentionally derives from :class:`BaseException` (mirroring
+``asyncio.CancelledError``) so that micro-protocol code using broad
+``except Exception`` clauses cannot accidentally swallow a kill request from
+the Terminate Orphan micro-protocol or a simulated node crash.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TaskCancelled(BaseException):
+    """Raised inside a task that has been cancelled.
+
+    Derives from ``BaseException`` (like ``asyncio.CancelledError``) so it
+    propagates through ordinary ``except Exception`` handlers.  The simulated
+    node crash machinery and the Terminate Orphan micro-protocol both rely on
+    this to tear down server threads cleanly.
+    """
+
+
+class KernelError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. nested ``run``)."""
+
+
+class NoCurrentTask(KernelError):
+    """A kernel trap was awaited outside of any running task."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid micro-protocol configuration was requested.
+
+    Raised when a selection of micro-protocols violates the dependency
+    graph of Figure 4 in the paper (e.g. Total Order without Unique
+    Execution, or both Synchronous Call and Asynchronous Call chosen).
+    """
+
+
+class DependencyError(ConfigurationError):
+    """A micro-protocol dependency edge from Figure 4 is unsatisfied."""
+
+
+class ChoiceError(ConfigurationError):
+    """More than one micro-protocol from an exclusive choice group chosen."""
+
+
+class RPCError(ReproError):
+    """Base class for errors surfaced through the RPC public API."""
+
+
+class RPCTimeout(RPCError):
+    """A bounded-termination deadline expired before the call completed."""
+
+
+class RPCAborted(RPCError):
+    """The call was aborted (e.g. the client node crashed mid-call)."""
+
+
+class UnknownCallError(RPCError):
+    """An operation or call id could not be resolved."""
+
+
+class BindingError(RPCError):
+    """A service name could not be bound to a server group."""
+
+
+class MarshalError(ReproError):
+    """Arguments could not be marshalled or unmarshalled."""
+
+
+class NodeDown(ReproError):
+    """An operation was attempted on a crashed simulated node."""
+
+
+class StableStoreError(ReproError):
+    """Stable storage was used incorrectly (e.g. loading a bad address)."""
+
+
+class MembershipError(ReproError):
+    """The membership service was queried for an unknown process."""

@@ -1,0 +1,27 @@
+"""Deterministic fault injection: scripted drops and crash schedules."""
+
+from repro.faults.injector import (
+    CrashSchedule,
+    MessageFault,
+    all_acks,
+    all_replies,
+    calls_to,
+    drop_first,
+    drop_matching,
+    net_msg,
+    order_messages,
+    replies_from,
+)
+
+__all__ = [
+    "CrashSchedule",
+    "MessageFault",
+    "drop_first",
+    "drop_matching",
+    "net_msg",
+    "replies_from",
+    "calls_to",
+    "all_replies",
+    "all_acks",
+    "order_messages",
+]

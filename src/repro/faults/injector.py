@@ -1,0 +1,126 @@
+"""Scripted fault injection for experiments and tests.
+
+The fabric's hooks (filters, partitions, link specs, node crash/recover)
+are low-level; this module packages them into the scripted faults the
+experiments need: "drop the first N replies from server 3", "crash the
+server 5 ms into the transfer and recover it a second later".  Everything
+is deterministic: filters count matches, schedules run on virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.messages import NetMsg, NetOp
+from repro.net.fabric import NetworkFabric
+from repro.net.message import Envelope
+from repro.net.node import Node
+
+__all__ = ["MessageFault", "drop_matching", "drop_first", "CrashSchedule",
+           "net_msg", "replies_from", "calls_to", "all_replies",
+           "all_acks", "order_messages"]
+
+
+def net_msg(envelope: Envelope) -> Optional[NetMsg]:
+    """The gRPC message inside an envelope, if it is one."""
+    payload = envelope.payload
+    return payload if isinstance(payload, NetMsg) else None
+
+
+@dataclass
+class MessageFault:
+    """A counting drop-filter installed on the fabric.
+
+    ``matched`` counts messages the predicate selected; ``dropped`` counts
+    those actually discarded (≤ ``limit``).  Call :meth:`remove` to
+    uninstall.
+    """
+
+    fabric: NetworkFabric
+    predicate: Callable[[Envelope], bool]
+    limit: Optional[int] = None
+    matched: int = 0
+    dropped: int = 0
+    _remover: Optional[Callable[[], None]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._remover = self.fabric.add_filter(self._filter)
+
+    def _filter(self, envelope: Envelope) -> bool:
+        if not self.predicate(envelope):
+            return True
+        self.matched += 1
+        if self.limit is not None and self.dropped >= self.limit:
+            return True
+        self.dropped += 1
+        return False
+
+    def remove(self) -> None:
+        if self._remover is not None:
+            self._remover()
+            self._remover = None
+
+
+def drop_matching(fabric: NetworkFabric,
+                  predicate: Callable[[Envelope], bool]) -> MessageFault:
+    """Drop every message the predicate selects, until removed."""
+    return MessageFault(fabric, predicate)
+
+
+def drop_first(fabric: NetworkFabric, n: int,
+               predicate: Callable[[Envelope], bool]) -> MessageFault:
+    """Drop only the first ``n`` matching messages, then pass the rest."""
+    return MessageFault(fabric, predicate, limit=n)
+
+
+# -- convenient predicates ------------------------------------------------
+
+def _kind(envelope: Envelope, op: NetOp) -> bool:
+    msg = net_msg(envelope)
+    return msg is not None and msg.type is op
+
+
+def replies_from(pid: int) -> Callable[[Envelope], bool]:
+    """Select REPLY messages sent by server ``pid``."""
+    return lambda env: env.src == pid and _kind(env, NetOp.REPLY)
+
+
+def calls_to(pid: int) -> Callable[[Envelope], bool]:
+    """Select CALL messages destined for server ``pid``."""
+    return lambda env: env.dst == pid and _kind(env, NetOp.CALL)
+
+
+def all_replies() -> Callable[[Envelope], bool]:
+    return lambda env: _kind(env, NetOp.REPLY)
+
+
+def all_acks() -> Callable[[Envelope], bool]:
+    return lambda env: _kind(env, NetOp.ACK)
+
+
+def order_messages() -> Callable[[Envelope], bool]:
+    return lambda env: _kind(env, NetOp.ORDER)
+
+
+class CrashSchedule:
+    """Timed crash/recover scripts against a set of nodes."""
+
+    def __init__(self, runtime, nodes: List[Node]):
+        self.runtime = runtime
+        self._nodes = {node.pid: node for node in nodes}
+
+    def crash_at(self, when: float, pid: int) -> None:
+        self.runtime.call_later(
+            max(0.0, when - self.runtime.now()),
+            lambda: self._nodes[pid].crash())
+
+    def recover_at(self, when: float, pid: int) -> None:
+        self.runtime.call_later(
+            max(0.0, when - self.runtime.now()),
+            lambda: self._nodes[pid].recover())
+
+    def bounce(self, pid: int, down_at: float, up_at: float) -> None:
+        """Crash at ``down_at`` and recover at ``up_at`` (absolute)."""
+        self.crash_at(down_at, pid)
+        self.recover_at(up_at, pid)

@@ -1,0 +1,11 @@
+"""Membership services: heartbeat failure detection and oracle variant."""
+
+from repro.membership.detector import Heartbeat, HeartbeatDetector
+from repro.membership.service import HeartbeatMembership, OracleMembership
+
+__all__ = [
+    "Heartbeat",
+    "HeartbeatDetector",
+    "HeartbeatMembership",
+    "OracleMembership",
+]

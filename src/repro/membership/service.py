@@ -1,0 +1,91 @@
+"""Membership services that feed gRPC's ``MEMBERSHIP_CHANGE`` event.
+
+Two implementations of the membership composite the paper assumes:
+
+* :class:`OracleMembership` — a perfect detector wired straight into the
+  fabric's crash/recover notifications, optionally with a fixed detection
+  delay.  Used by experiments that must separate the semantics under test
+  from detector inaccuracy.
+* :class:`HeartbeatMembership` — the realistic service: one
+  :class:`~repro.membership.detector.HeartbeatDetector` per node, with
+  suspicions local to each node (different sites may briefly disagree, as
+  in any real asynchronous system).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.grpc import GroupRPC
+from repro.core.messages import MemChange
+from repro.membership.detector import Heartbeat, HeartbeatDetector
+from repro.net.fabric import NetworkFabric
+from repro.net.message import ProcessId
+from repro.xkernel.demux import TypeDemux
+
+__all__ = ["OracleMembership", "HeartbeatMembership"]
+
+
+class OracleMembership:
+    """Perfect failure detection from the fabric's own lifecycle events.
+
+    ``delay`` models detection latency: changes are announced to the
+    composites ``delay`` seconds after they happen (0 = instantaneous).
+    """
+
+    def __init__(self, fabric: NetworkFabric, *, delay: float = 0.0):
+        self.fabric = fabric
+        self.delay = delay
+        self._composites: List[GroupRPC] = []
+        fabric.watch_membership(self._on_change)
+
+    def connect(self, grpc: GroupRPC,
+                initial: Optional[Iterable[ProcessId]] = None) -> None:
+        """Give ``grpc`` membership knowledge and future change events."""
+        grpc.set_members(initial if initial is not None
+                         else self.fabric.alive_pids())
+        self._composites.append(grpc)
+
+    def _on_change(self, pid: ProcessId, alive: bool) -> None:
+        change = MemChange.RECOVERY if alive else MemChange.FAILURE
+
+        def announce() -> None:
+            for grpc in self._composites:
+                if grpc.node.up:
+                    grpc.membership_change(pid, change)
+
+        if self.delay > 0:
+            self.fabric.runtime.call_later(self.delay, announce)
+        else:
+            announce()
+
+
+class HeartbeatMembership:
+    """Realistic per-node membership built on heartbeat detectors."""
+
+    def __init__(self, *, interval: float = 0.05, suspect_after: int = 3):
+        self.interval = interval
+        self.suspect_after = suspect_after
+        self.detectors: Dict[ProcessId, HeartbeatDetector] = {}
+
+    def attach(self, grpc: GroupRPC, demux: TypeDemux,
+               peers: Iterable[ProcessId]) -> HeartbeatDetector:
+        """Install a detector on ``grpc``'s node, routed through ``demux``.
+
+        The detector's suspicions update this node's view only; call
+        :meth:`start_all` once every node is attached.
+        """
+        node = grpc.node
+        detector = HeartbeatDetector(node, peers, interval=self.interval,
+                                     suspect_after=self.suspect_after)
+        demux.attach(Heartbeat, detector)
+        grpc.set_members(set(peers) | {node.pid})
+        detector.listeners.append(
+            lambda pid, change: grpc.membership_change(pid, change))
+        self.detectors[node.pid] = detector
+        return detector
+
+    def start_all(self) -> None:
+        for detector in self.detectors.values():
+            if detector.node.up:
+                detector.start()

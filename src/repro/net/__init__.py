@@ -1,0 +1,19 @@
+"""Simulated network substrate: nodes, lossy links, unreliable transport."""
+
+from repro.net.fabric import LinkSpec, NetworkFabric
+from repro.net.message import Envelope, Group, ProcessId
+from repro.net.node import Node
+from repro.net.trace import NetTrace, TraceEvent
+from repro.net.transport import UnreliableTransport
+
+__all__ = [
+    "LinkSpec",
+    "NetworkFabric",
+    "Envelope",
+    "Group",
+    "ProcessId",
+    "Node",
+    "NetTrace",
+    "TraceEvent",
+    "UnreliableTransport",
+]

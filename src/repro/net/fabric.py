@@ -1,0 +1,212 @@
+"""The simulated unreliable network.
+
+Implements the failure model the paper assumes: "an asynchronous
+distributed system, where the underlying communication system can
+experience both omission and performance failures".  Concretely:
+
+* **omission failures** — each link drops a message with probability
+  ``loss`` and may duplicate with probability ``duplicate``;
+* **performance failures** — base latency plus uniform jitter, with
+  occasional delay spikes (probability ``spike_prob``, extra delay
+  ``spike_delay``), and reordering as a natural consequence of independent
+  per-message delays;
+* **partitions** — directional blocks installed between process sets;
+* **crash failures** — delivery to a down node is dropped (handled with
+  the :class:`~repro.net.node.Node` lifecycle).
+
+All randomness is drawn from named streams of a
+:class:`~repro.sim.rand.RandomSource`, one stream per directed link, so
+experiments are exactly reproducible and adding nodes does not perturb
+existing links' draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.net.message import Envelope, Group, ProcessId
+from repro.net.node import Node
+from repro.net.trace import NetTrace
+from repro.runtime.base import Runtime
+from repro.sim.rand import RandomSource
+
+__all__ = ["LinkSpec", "NetworkFabric"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Failure/latency parameters for one directed link.
+
+    ``delay`` is the base one-way latency; each message adds uniform
+    jitter in ``[0, jitter]``.  ``loss`` and ``duplicate`` are per-message
+    probabilities.  ``spike_prob``/``spike_delay`` model performance
+    failures (a late message rather than a lost one).
+    """
+
+    delay: float = 0.010
+    jitter: float = 0.005
+    loss: float = 0.0
+    duplicate: float = 0.0
+    spike_prob: float = 0.0
+    spike_delay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.delay < 0 or self.jitter < 0 or self.spike_delay < 0:
+            raise ValueError("delays must be non-negative")
+        for p in (self.loss, self.duplicate, self.spike_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability out of range: {p}")
+
+
+#: A message filter: returns False to drop the envelope (fault injection).
+MessageFilter = Callable[[Envelope], bool]
+
+
+class NetworkFabric:
+    """Connects :class:`~repro.net.node.Node` objects with lossy links."""
+
+    def __init__(self, runtime: Runtime, *,
+                 rand: Optional[RandomSource] = None,
+                 default_link: LinkSpec = LinkSpec(),
+                 trace: Optional[NetTrace] = None):
+        self.runtime = runtime
+        self.rand = rand or RandomSource(0)
+        self.default_link = default_link
+        self.trace = trace or NetTrace()
+        self.nodes: Dict[ProcessId, Node] = {}
+        self._links: Dict[Tuple[ProcessId, ProcessId], LinkSpec] = {}
+        self._blocked: Set[Tuple[ProcessId, ProcessId]] = set()
+        self._filters: List[MessageFilter] = []
+        #: Observers told when a node crashes/recovers; the oracle
+        #: membership detector subscribes here.
+        self._membership_watchers: List[Callable[[ProcessId, bool], None]] = []
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node.pid in self.nodes:
+            raise ReproError(f"duplicate process id {node.pid}")
+        self.nodes[node.pid] = node
+
+    def node(self, pid: ProcessId) -> Node:
+        return self.nodes[pid]
+
+    def set_link(self, src: ProcessId, dst: ProcessId,
+                 spec: LinkSpec) -> None:
+        """Override the parameters of the ``src -> dst`` link."""
+        self._links[(src, dst)] = spec
+
+    def set_links_to(self, dst: ProcessId, spec: LinkSpec) -> None:
+        """Override every link toward ``dst`` (model a slow/lossy site)."""
+        for pid in self.nodes:
+            if pid != dst:
+                self._links[(pid, dst)] = spec
+
+    def link(self, src: ProcessId, dst: ProcessId) -> LinkSpec:
+        return self._links.get((src, dst), self.default_link)
+
+    def partition(self, side_a: Iterable[ProcessId],
+                  side_b: Iterable[ProcessId]) -> None:
+        """Block traffic in both directions between the two sets."""
+        for a in side_a:
+            for b in side_b:
+                self._blocked.add((a, b))
+                self._blocked.add((b, a))
+
+    def heal(self, side_a: Optional[Iterable[ProcessId]] = None,
+             side_b: Optional[Iterable[ProcessId]] = None) -> None:
+        """Remove partitions — all of them when called with no arguments."""
+        if side_a is None or side_b is None:
+            self._blocked.clear()
+            return
+        for a in side_a:
+            for b in side_b:
+                self._blocked.discard((a, b))
+                self._blocked.discard((b, a))
+
+    def add_filter(self, fltr: MessageFilter) -> Callable[[], None]:
+        """Install a scripted drop filter; returns a remover callback."""
+        self._filters.append(fltr)
+        return lambda: self._filters.remove(fltr)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: object) -> None:
+        """Queue ``payload`` for delivery over the ``src -> dst`` link.
+
+        Never blocks; the envelope is subjected to the link's loss,
+        duplication and delay models and delivered (or not) later.
+        """
+        now = self.runtime.now()
+        envelope = Envelope(src, dst, payload, now)
+        self.trace.record(now, "send", src, dst, detail=payload)
+        for fltr in self._filters:
+            if not fltr(envelope):
+                self.trace.record(now, "drop-filter", src, dst,
+                                  detail=payload)
+                return
+        if (src, dst) in self._blocked:
+            self.trace.record(now, "drop-partition", src, dst,
+                              detail=payload)
+            return
+        spec = self.link(src, dst)
+        rng = self.rand.stream(f"link-{src}-{dst}")
+        if spec.loss and rng.random() < spec.loss:
+            self.trace.record(now, "drop-loss", src, dst, detail=payload)
+            return
+        copies = 1
+        if spec.duplicate and rng.random() < spec.duplicate:
+            copies = 2
+            self.trace.record(now, "duplicate", src, dst, detail=payload)
+        for copy in range(copies):
+            delay = spec.delay + rng.uniform(0.0, spec.jitter)
+            if spec.spike_prob and rng.random() < spec.spike_prob:
+                delay += spec.spike_delay
+            copy_env = Envelope(src, dst, payload, now, copy=copy)
+            self.runtime.call_later(
+                delay, lambda env=copy_env: self._deliver(env))
+
+    def multicast(self, src: ProcessId, group: Group | Iterable[ProcessId],
+                  payload: object) -> None:
+        """Send ``payload`` to every group member over independent links.
+
+        The paper permits group RPC "using either multicast or
+        point-to-point communication"; the fabric models multicast as
+        point-to-point fan-out with independent per-link failures, which is
+        the weaker (and therefore safe) assumption.
+        """
+        for member in group:
+            self.send(src, member, payload)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        node = self.nodes.get(envelope.dst)
+        now = self.runtime.now()
+        if node is None or not node.up:
+            self.trace.record(now, "drop-dead", envelope.src, envelope.dst,
+                              detail=envelope.payload)
+            return
+        self.trace.record(now, "deliver", envelope.src, envelope.dst,
+                          detail=envelope.payload)
+        node.deliver(envelope)
+
+    # ------------------------------------------------------------------
+    # Membership plumbing
+    # ------------------------------------------------------------------
+
+    def watch_membership(self, watcher: Callable[[ProcessId, bool], None]
+                         ) -> None:
+        """Subscribe to crash/recover notifications (oracle detector)."""
+        self._membership_watchers.append(watcher)
+
+    def notify_membership(self, pid: ProcessId, alive: bool) -> None:
+        for watcher in list(self._membership_watchers):
+            watcher(pid, alive)
+
+    def alive_pids(self) -> Set[ProcessId]:
+        return {pid for pid, node in self.nodes.items() if node.up}

@@ -1,0 +1,92 @@
+"""Addressing and fabric-level message envelopes.
+
+The paper addresses processes by ``process_id`` and server groups by
+``group_id``; the underlying "unreliable communication" protocol moves
+opaque payloads between sites.  This module defines those addressing types
+plus the :class:`Envelope` wrapper the simulated fabric attaches to every
+payload in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterable, Tuple
+
+__all__ = ["ProcessId", "Group", "Envelope"]
+
+#: Processes are identified by small integers, as in the paper's pseudocode
+#: (`my_id`, `max(id: process_id in server)` for leader election).
+ProcessId = int
+
+
+@dataclass(frozen=True)
+class Group:
+    """An immutable named server group (the paper's ``group_id``).
+
+    The *static* membership of the group — which processes were configured
+    into it — never changes; the dynamic notion of which members are
+    currently alive is the membership service's business (Section 2.2's
+    membership semantics).
+
+    The Total Order micro-protocol defines the leader as "the server with
+    the largest unique identifier of all non-failed servers", which is what
+    :meth:`leader` computes given a set of live processes.
+    """
+
+    name: str
+    members: Tuple[ProcessId, ...]
+
+    def __init__(self, name: str, members: Iterable[ProcessId]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "members",
+                           tuple(sorted(set(members))))
+        if not self.members:
+            raise ValueError(f"group {name!r} must have at least one member")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self.members
+
+    def leader(self, alive: FrozenSet[ProcessId] | set | None = None
+               ) -> ProcessId:
+        """Largest-id live member (the paper's leader rule).
+
+        With ``alive=None`` every configured member is considered live.
+        Raises ``ValueError`` if no member is alive.
+        """
+        candidates = self.members if alive is None else \
+            [m for m in self.members if m in alive]
+        if not candidates:
+            raise ValueError(f"group {self.name!r} has no live members")
+        return max(candidates)
+
+
+_ENVELOPE_SEQ = 0
+
+
+@dataclass
+class Envelope:
+    """A payload in flight through the simulated fabric.
+
+    ``seq`` is a global sequence number used only for tracing and
+    deterministic tie-breaking; ``copy`` distinguishes duplicated
+    deliveries of the same send.
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+    send_time: float
+    seq: int = field(default=-1)
+    copy: int = 0
+
+    def __post_init__(self) -> None:
+        global _ENVELOPE_SEQ
+        if self.seq < 0:
+            self.seq = _ENVELOPE_SEQ
+            _ENVELOPE_SEQ += 1

@@ -1,0 +1,139 @@
+"""Simulated sites with crash failures, recovery and incarnation numbers.
+
+The paper's system model: "sites can experience crash failures" and
+recovering clients carry an *incarnation number* so servers can partition
+calls into generations (Interference Avoidance, Terminate Orphan).  A
+:class:`Node` models one site:
+
+* **crash** — every task the site was running is cancelled (volatile state
+  is the protocol layers' to reset via crash listeners), queued inbound
+  messages are discarded, and the fabric stops delivering to it;
+* **recover** — the incarnation number is bumped, the receive loop is
+  restarted, and recovery listeners fire (gRPC turns this into the
+  ``RECOVERY`` event of Section 4.3).
+
+The incarnation counter survives crashes.  On real hardware it would be
+read from stable storage at reboot; here the :class:`Node` object plays the
+role of the machine, which persists while its volatile contents do not.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Any, Callable, Coroutine, List
+
+from repro.errors import NodeDown
+from repro.net.message import Envelope, ProcessId
+from repro.runtime.base import CancelScope, Runtime
+from repro.stablestore import StableStore
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import NetworkFabric
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One simulated site: a process id, an inbox, and a task scope."""
+
+    def __init__(self, pid: ProcessId, runtime: Runtime,
+                 fabric: "NetworkFabric", *, name: str = ""):
+        self.pid = pid
+        self.name = name or f"node-{pid}"
+        self.runtime = runtime
+        self.fabric = fabric
+        self.incarnation = 1
+        self.up = False
+        #: This site's "disk": survives crashes (the Node object persists
+        #: while the tasks' volatile state does not).
+        self.stable = StableStore()
+        self.inbox = runtime.queue()
+        self.scope = CancelScope(runtime)
+        #: Called with no arguments the moment the node crashes; protocol
+        #: layers register resets of their volatile state here.
+        self.crash_listeners: List[Callable[[], None]] = []
+        #: Called with the new incarnation number once the node restarts.
+        self.recover_listeners: List[Callable[[int], None]] = []
+        #: The bottom protocol of this node's stack; set by the transport.
+        self.transport: Any = None
+        self._receiver: Any = None
+        fabric.add_node(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bring the node up for the first time (no listeners fire)."""
+        if self.up:
+            return
+        self.up = True
+        self._start_receiver()
+
+    def crash(self) -> None:
+        """Crash the site: kill tasks, drop queued input, go down."""
+        if not self.up:
+            return
+        self.up = False
+        self.fabric.trace.record(self.runtime.now(), "crash", self.pid,
+                                 self.pid)
+        self.scope.cancel_all()
+        self._receiver = None
+        self.inbox.clear()
+        for listener in list(self.crash_listeners):
+            listener()
+        self.fabric.notify_membership(self.pid, alive=False)
+
+    def recover(self) -> None:
+        """Restart the site with the next incarnation number."""
+        if self.up:
+            return
+        self.incarnation += 1
+        self.up = True
+        self.fabric.trace.record(self.runtime.now(), "recover", self.pid,
+                                 self.pid, detail=self.incarnation)
+        self._start_receiver()
+        for listener in list(self.recover_listeners):
+            listener(self.incarnation)
+        self.fabric.notify_membership(self.pid, alive=True)
+
+    # ------------------------------------------------------------------
+    # Task and message plumbing
+    # ------------------------------------------------------------------
+
+    def spawn(self, coro: Coroutine, *, name: str = "",
+              daemon: bool = False) -> Any:
+        """Spawn a task owned by this node (killed when the node crashes)."""
+        if not self.up:
+            coro.close()
+            raise NodeDown(f"{self.name} is down")
+        return self.scope.spawn(
+            coro, name=name or f"{self.name}-task", daemon=daemon)
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Called by the fabric to hand over an arrived envelope."""
+        self.inbox.put(envelope)
+
+    def _start_receiver(self) -> None:
+        self._receiver = self.scope.spawn(
+            self._receive_loop(), name=f"{self.name}-recv", daemon=True)
+
+    async def _receive_loop(self) -> None:
+        """Pop envelopes and hand each to the transport in its own task.
+
+        Per-message tasks reproduce the paper's execution model where every
+        network message arrival triggers its own (possibly blocking) event
+        handler chain; a blocked chain must not stall later arrivals.
+        """
+        while True:
+            envelope = await self.inbox.get()
+            if self.transport is None:
+                continue
+            self.scope.spawn(
+                self.transport.handle_arrival(envelope),
+                name=f"{self.name}-msg-{envelope.seq}", daemon=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return (f"<Node {self.pid} {self.name!r} {state} "
+                f"inc={self.incarnation}>")

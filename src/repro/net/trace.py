@@ -1,0 +1,87 @@
+"""Network event tracing and counters.
+
+Every fabric decision (send, drop, duplicate, deliver, crash, recover) is
+recorded here.  Experiments use the counters for their reported metrics
+(message costs per call, retransmission counts) and the event log for
+invariant checking in tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = ["TraceEvent", "NetTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped fabric event.
+
+    ``kind`` is one of ``send``, ``deliver``, ``drop-loss``,
+    ``drop-partition``, ``drop-filter``, ``drop-dead``, ``duplicate``,
+    ``crash``, ``recover``.
+    """
+
+    time: float
+    kind: str
+    src: int
+    dst: int
+    detail: Any = None
+
+
+class NetTrace:
+    """Accumulates :class:`TraceEvent` records and per-kind counters.
+
+    Recording the full event list can be disabled (counters only) for the
+    large benchmark runs via ``keep_events=False``.
+    """
+
+    def __init__(self, keep_events: bool = True):
+        self.keep_events = keep_events
+        self.events: List[TraceEvent] = []
+        self.counts: Counter = Counter()
+        #: Optional live observers, e.g. a test asserting on the fly.
+        self.observers: List[Callable[[TraceEvent], None]] = []
+
+    def record(self, time: float, kind: str, src: int = -1, dst: int = -1,
+               detail: Any = None) -> None:
+        self.counts[kind] += 1
+        event = TraceEvent(time, kind, src, dst, detail)
+        if self.keep_events:
+            self.events.append(event)
+        for observer in self.observers:
+            observer(event)
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def sends(self) -> int:
+        return self.counts["send"]
+
+    @property
+    def deliveries(self) -> int:
+        return self.counts["deliver"]
+
+    @property
+    def losses(self) -> int:
+        return self.counts["drop-loss"]
+
+    @property
+    def duplicates(self) -> int:
+        return self.counts["duplicate"]
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def between(self, src: Optional[int] = None, dst: Optional[int] = None
+                ) -> List[TraceEvent]:
+        """Events filtered by endpoint(s)."""
+        return [e for e in self.events
+                if (src is None or e.src == src)
+                and (dst is None or e.dst == dst)]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counts.clear()

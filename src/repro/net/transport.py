@@ -1,0 +1,51 @@
+"""The unreliable transport protocol at the bottom of every stack.
+
+This is the paper's "unreliable communication" composite/simple protocol:
+it provides "the transport service needed to deliver messages between gRPC
+on the client and server sites" with no reliability guarantees of its own —
+making messages arrive despite omission failures is exactly the job of the
+Reliable Communication micro-protocol above it.
+
+``push`` accepts a :class:`~repro.net.message.ProcessId`, a
+:class:`~repro.net.message.Group`, or any iterable of process ids as the
+destination, covering the paper's ``Net.push(p, msg)`` and
+``Net.push(msg.server, msg)`` uses uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.net.fabric import NetworkFabric
+from repro.net.message import Envelope, Group, ProcessId
+from repro.net.node import Node
+from repro.xkernel.upi import Protocol
+
+__all__ = ["UnreliableTransport"]
+
+Destination = Union[ProcessId, Group, Iterable[ProcessId]]
+
+
+class UnreliableTransport(Protocol):
+    """x-kernel leaf protocol binding a node's stack to the fabric."""
+
+    def __init__(self, node: Node):
+        super().__init__(f"transport@{node.pid}")
+        self.node = node
+        self.fabric: NetworkFabric = node.fabric
+        node.transport = self
+
+    async def push(self, dest: Destination, payload: object) -> None:
+        """Send ``payload`` toward ``dest``; never blocks, may be lost."""
+        if not self.node.up:
+            # A crashed site cannot transmit; tasks are normally cancelled
+            # before reaching here, but timer callbacks may race the crash.
+            return
+        if isinstance(dest, (Group, list, tuple, set, frozenset)):
+            self.fabric.multicast(self.node.pid, dest, payload)
+        else:
+            self.fabric.send(self.node.pid, dest, payload)
+
+    async def handle_arrival(self, envelope: Envelope) -> None:
+        """Deliver one arrived envelope up the stack (its own task)."""
+        await self.pop(envelope.payload, sender=envelope.src)

@@ -1,0 +1,122 @@
+"""Runtime abstraction: one interface over the sim kernel and asyncio.
+
+The paper's micro-protocols are written once and composed into different
+services; we additionally make them *runtime portable* — the same protocol
+code runs on the deterministic virtual-time kernel (for tests, experiments
+and benchmarks) or on ``asyncio`` in real time (for the live demo example).
+
+Protocol code must obtain every primitive it blocks on from the runtime
+(``rt.semaphore()``, ``rt.queue()``, ``await rt.sleep(...)``); never mix
+primitives from different runtimes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Coroutine, Tuple
+
+__all__ = ["Runtime", "CancelScope"]
+
+
+class Runtime(abc.ABC):
+    """Factory and scheduler facade used by all protocol code."""
+
+    #: Exception classes that signal task cancellation on this runtime.
+    cancelled_exceptions: Tuple[type, ...] = ()
+
+    # -- time -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (virtual or wall-clock)."""
+
+    @abc.abstractmethod
+    async def sleep(self, delay: float) -> None:
+        """Suspend the calling task for ``delay`` seconds."""
+
+    @abc.abstractmethod
+    def call_later(self, delay: float, action: Callable[[], None]) -> Any:
+        """Schedule a plain callable; returns a handle with ``cancel()``."""
+
+    # -- tasks ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def spawn(self, coro: Coroutine, *, name: str = "",
+              daemon: bool = False) -> Any:
+        """Start a task; returns a handle usable with :meth:`cancel`."""
+
+    @abc.abstractmethod
+    def cancel(self, handle: Any) -> None:
+        """Cancel a task previously returned by :meth:`spawn`."""
+
+    @abc.abstractmethod
+    async def current_handle(self) -> Any:
+        """Handle for the calling task (the paper's ``my_thread()``)."""
+
+    @abc.abstractmethod
+    def current_handle_nowait(self) -> Any:
+        """Synchronous variant of :meth:`current_handle`.
+
+        Only valid while a task is actually executing (e.g. from within an
+        event handler); used by the framework's ``cancel_event`` which the
+        paper specifies as a plain (non-blocking) operation.
+        """
+
+    @abc.abstractmethod
+    async def join(self, handle: Any) -> Any:
+        """Wait for a task to finish; returns its result."""
+
+    # -- primitives -----------------------------------------------------
+
+    @abc.abstractmethod
+    def semaphore(self, value: int = 1) -> Any:
+        """A counting semaphore with ``acquire``/``release``/``reset``."""
+
+    @abc.abstractmethod
+    def lock(self) -> Any:
+        """A mutex (binary semaphore)."""
+
+    @abc.abstractmethod
+    def event(self) -> Any:
+        """A one-shot event with ``set``/``wait``/``is_set``."""
+
+    @abc.abstractmethod
+    def queue(self) -> Any:
+        """An unbounded FIFO with sync ``put`` and async ``get``."""
+
+
+class CancelScope:
+    """Tracks spawned task handles so a group can be torn down together.
+
+    Simulated node crashes use one scope per node: crash = cancel every
+    handle registered in the scope.  Handles that finish are pruned lazily.
+    """
+
+    def __init__(self, runtime: Runtime):
+        self._runtime = runtime
+        self._handles: list[Any] = []
+
+    def spawn(self, coro: Coroutine, *, name: str = "",
+              daemon: bool = False) -> Any:
+        handle = self._runtime.spawn(coro, name=name, daemon=daemon)
+        self._handles.append(handle)
+        return handle
+
+    def adopt(self, handle: Any) -> None:
+        """Register an externally spawned handle with this scope."""
+        self._handles.append(handle)
+
+    def cancel_all(self) -> int:
+        """Cancel every live handle; returns how many were cancelled."""
+        cancelled = 0
+        for handle in self._handles:
+            done = getattr(handle, "done", None)
+            if callable(done):  # asyncio.Task.done()
+                finished = done()
+            else:  # sim Task.done property
+                finished = bool(done)
+            if not finished:
+                self._runtime.cancel(handle)
+                cancelled += 1
+        self._handles.clear()
+        return cancelled

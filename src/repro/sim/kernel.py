@@ -1,0 +1,559 @@
+"""A deterministic cooperative simulation kernel.
+
+This module implements a small curio-style coroutine kernel with a *virtual*
+clock.  It is the substrate on which the reproduced group RPC system runs:
+the paper assumes an asynchronous distributed system with threads that may
+block on semaphores, and this kernel provides exactly that — ``async def``
+tasks that can block on synchronization primitives — while keeping execution
+fully deterministic and instantaneous (simulated time advances only when every
+runnable task has yielded).
+
+Design notes
+------------
+
+* Tasks are plain Python coroutines driven by :meth:`Kernel._step`.  They
+  communicate with the kernel by ``await``-ing *traps* — small request
+  objects yielded up through ``types.coroutine`` shims.
+* The ready queue is FIFO and timers break ties by insertion sequence, so a
+  given program plus a given seed always produces the same schedule.  The
+  network fabric layers randomness on top using seeded RNG streams.
+* Cancellation mirrors ``asyncio``: :meth:`Task.cancel` throws
+  :class:`~repro.errors.TaskCancelled` into the coroutine at its suspension
+  point.  Simulated node crashes and the Terminate Orphan micro-protocol are
+  built on this.
+* ``daemon`` tasks (heartbeat senders, retransmitters) do not keep the
+  kernel alive and are cancelled silently when the main task finishes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import types
+from collections import deque
+from typing import Any, Callable, Coroutine, Iterable, Optional
+
+from repro.errors import KernelError, NoCurrentTask, TaskCancelled
+
+__all__ = [
+    "Kernel",
+    "Task",
+    "Timer",
+    "current_kernel",
+    "current_task",
+    "spawn",
+    "sleep",
+    "suspend",
+    "checkpoint_yield",
+]
+
+
+# The kernel currently executing tasks.  The simulation is single-threaded,
+# so a module-level variable (rather than a contextvar) is sufficient and
+# considerably faster.
+_KERNEL: Optional["Kernel"] = None
+
+
+def current_kernel() -> "Kernel":
+    """Return the kernel currently running tasks.
+
+    Raises :class:`~repro.errors.NoCurrentTask` when called outside of
+    :meth:`Kernel.run`.
+    """
+    if _KERNEL is None:
+        raise NoCurrentTask("no kernel is currently running")
+    return _KERNEL
+
+
+class _Trap:
+    """Base class for requests a task makes to the kernel."""
+
+    __slots__ = ()
+
+
+class _SpawnTrap(_Trap):
+    __slots__ = ("coro", "name", "daemon")
+
+    def __init__(self, coro: Coroutine, name: str, daemon: bool):
+        self.coro = coro
+        self.name = name
+        self.daemon = daemon
+
+
+class _SleepTrap(_Trap):
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        self.delay = delay
+
+
+class _SuspendTrap(_Trap):
+    """Park the current task until something reschedules it.
+
+    ``park`` is called with the task so the waiter can be recorded in a
+    wait structure; ``unpark`` must remove it again (used on cancellation).
+    """
+
+    __slots__ = ("park", "unpark")
+
+    def __init__(self, park: Callable[["Task"], None],
+                 unpark: Callable[["Task"], None]):
+        self.park = park
+        self.unpark = unpark
+
+
+class _JoinTrap(_Trap):
+    __slots__ = ("task",)
+
+    def __init__(self, task: "Task"):
+        self.task = task
+
+
+class _CurrentTaskTrap(_Trap):
+    __slots__ = ()
+
+
+class _YieldTrap(_Trap):
+    __slots__ = ()
+
+
+@types.coroutine
+def _invoke(trap: _Trap):
+    """Yield a trap to the kernel and return its response."""
+    return (yield trap)
+
+
+# Task states.
+_READY = "READY"
+_RUNNING = "RUNNING"
+_WAITING = "WAITING"
+_DONE = "DONE"
+_CANCELLED = "CANCELLED"
+
+
+class Task:
+    """A unit of cooperative execution managed by the kernel.
+
+    Tasks are created through :func:`spawn` (from inside a task) or
+    :meth:`Kernel.spawn` (from setup code).  A finished task exposes
+    :attr:`result` or :attr:`exception`; other tasks can block on it with
+    :meth:`join`.
+    """
+
+    _next_id = 1
+
+    def __init__(self, coro: Coroutine, name: str, daemon: bool,
+                 kernel: "Kernel"):
+        self.id = Task._next_id
+        Task._next_id += 1
+        self.coro = coro
+        self.name = name or f"task-{self.id}"
+        self.daemon = daemon
+        self.state = _READY
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.cancelled = False
+        self._kernel = kernel
+        self._joiners: list[Task] = []
+        # When parked on a _SuspendTrap, the unpark callback used to remove
+        # the task from its wait structure if it gets cancelled first.
+        self._unpark: Optional[Callable[["Task"], None]] = None
+        # Timer associated with a sleep, so cancellation can void it.
+        self._sleep_timer: Optional[Timer] = None
+        # Exception to throw into the coroutine at the next step.
+        self._pending_exc: Optional[BaseException] = None
+        # Arbitrary annotations (e.g. owning node) set by higher layers.
+        self.tags: dict[str, Any] = {}
+
+    @property
+    def done(self) -> bool:
+        return self.state in (_DONE, _CANCELLED)
+
+    def cancel(self) -> bool:
+        """Request cancellation of this task.
+
+        Returns ``True`` if a cancellation was delivered (or is pending),
+        ``False`` if the task had already finished.  Cancelling the
+        currently-running task from within itself is disallowed; raise
+        :class:`~repro.errors.TaskCancelled` directly instead.
+        """
+        return self._kernel._cancel_task(self)
+
+    async def join(self) -> Any:
+        """Wait for this task to finish and return its result.
+
+        Re-raises the task's exception, including
+        :class:`~repro.errors.TaskCancelled` if it was cancelled.
+        """
+        if not self.done:
+            await _invoke(_JoinTrap(self))
+        if self.exception is not None:
+            raise self.exception
+        if self.state == _CANCELLED:
+            raise TaskCancelled(f"{self.name} was cancelled")
+        return self.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.id} {self.name!r} {self.state}>"
+
+
+class Timer:
+    """Handle for a scheduled timer; :meth:`cancel` voids it."""
+
+    __slots__ = ("when", "seq", "action", "cancelled")
+
+    def __init__(self, when: float, seq: int, action: Callable[[], None]):
+        self.when = when
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class Kernel:
+    """Deterministic virtual-time scheduler for cooperative tasks.
+
+    Typical use::
+
+        kernel = Kernel()
+
+        async def main():
+            ...
+
+        kernel.run(main())
+
+    The clock starts at ``0.0`` and advances to the deadline of the next
+    timer whenever the ready queue drains.  Within one instant, tasks run in
+    FIFO order and each task runs until it blocks — there is no preemption,
+    which is what makes experiments repeatable.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._ready: deque[tuple[Task, Any]] = deque()
+        self._timers: list[Timer] = []
+        self._timer_seq = 0
+        self._current: Optional[Task] = None
+        self._tasks: dict[int, Task] = {}
+        self._running = False
+        #: Exceptions from tasks that finished with an error and were never
+        #: joined.  ``run(..., strict=True)`` re-raises the first of these.
+        self.failures: list[tuple[Task, BaseException]] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def spawn(self, coro: Coroutine, *, name: str = "",
+              daemon: bool = False) -> Task:
+        """Create a task and place it on the ready queue.
+
+        May be called from setup code (outside :meth:`run`) or from inside a
+        running task; :func:`spawn` is the in-task convenience wrapper.
+        """
+        task = Task(coro, name, daemon, self)
+        self._tasks[task.id] = task
+        self._ready.append((task, None))
+        return task
+
+    def call_later(self, delay: float, action: Callable[[], None]) -> Timer:
+        """Run ``action()`` (a plain function) after ``delay`` seconds.
+
+        The action executes in kernel context; it may call :meth:`spawn`
+        but must not block.  Returns a cancellable :class:`Timer`.
+        """
+        if delay < 0:
+            raise KernelError(f"negative delay: {delay}")
+        timer = Timer(self._now + delay, self._timer_seq, action)
+        self._timer_seq += 1
+        heapq.heappush(self._timers, timer)
+        return timer
+
+    def call_at(self, when: float, action: Callable[[], None]) -> Timer:
+        """Run ``action()`` at absolute virtual time ``when``."""
+        return self.call_later(max(0.0, when - self._now), action)
+
+    def run(self, coro: Optional[Coroutine] = None, *,
+            strict: bool = True, shutdown: bool = True) -> Any:
+        """Run the simulation.
+
+        With ``coro``, a main task is spawned and the kernel runs until it
+        finishes; its result is returned (its exception re-raised) and —
+        unless ``shutdown=False`` — every other task is cancelled.
+        ``shutdown=False`` leaves the rest of the system (server loops,
+        timers) intact so further ``run`` calls can continue the same
+        simulation.  Without ``coro``, the kernel runs until no task is
+        runnable and no timer is pending (useful after seeding work with
+        :meth:`spawn`).
+
+        ``strict`` re-raises the first unjoined task failure once the run
+        completes, so broken protocol code cannot fail silently.
+        """
+        main: Optional[Task] = None
+        if coro is not None:
+            main = self.spawn(coro, name="main")
+        self._loop(stop_when=lambda: main is not None and main.done,
+                   deadline=None)
+        if main is not None and shutdown:
+            self._cancel_all(except_task=main)
+            # The main task's outcome is reported directly, not through the
+            # unjoined-failure channel.
+            self.failures = [(t, e) for (t, e) in self.failures
+                             if t is not main]
+            if main.exception is not None:
+                raise main.exception
+            if main.state == _CANCELLED:
+                raise TaskCancelled("main task was cancelled")
+        self._raise_if_strict(strict)
+        return main.result if main is not None else None
+
+    def run_until_idle(self, *, strict: bool = True) -> None:
+        """Run until no task is runnable and no timer is pending."""
+        self._loop(stop_when=lambda: False, deadline=None)
+        self._raise_if_strict(strict)
+
+    def run_until(self, deadline: float, *, strict: bool = True) -> None:
+        """Run until virtual time reaches ``deadline`` (or the system idles).
+
+        The clock is left at ``deadline`` if it was reached, so repeated
+        calls advance time monotonically even when nothing is scheduled.
+        """
+        self._loop(stop_when=lambda: False, deadline=deadline)
+        if self._now < deadline:
+            self._now = deadline
+        self._raise_if_strict(strict)
+
+    def run_for(self, duration: float, *, strict: bool = True) -> None:
+        """Run for ``duration`` seconds of virtual time."""
+        self.run_until(self._now + duration, strict=strict)
+
+    def live_tasks(self) -> Iterable[Task]:
+        """All tasks that have not finished."""
+        return [t for t in self._tasks.values() if not t.done]
+
+    def shutdown(self) -> None:
+        """Cancel every live task and run their cleanup to completion.
+
+        Call at the end of an experiment that deliberately leaves work in
+        flight (e.g. an overloaded open-loop run), so ``finally`` blocks
+        execute under the kernel instead of at garbage collection.
+        """
+        self._cancel_all()
+        self.failures.clear()
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+
+    def _raise_if_strict(self, strict: bool) -> None:
+        if strict and self.failures:
+            task, exc = self.failures[0]
+            raise KernelError(
+                f"task {task.name!r} died with {exc!r}") from exc
+
+    def _loop(self, stop_when: Callable[[], bool],
+              deadline: Optional[float]) -> None:
+        if self._running:
+            raise KernelError("kernel is already running (nested run)")
+        global _KERNEL
+        self._running = True
+        prev = _KERNEL
+        _KERNEL = self
+        try:
+            while not stop_when():
+                if self._ready:
+                    task, value = self._ready.popleft()
+                    if task.done:
+                        continue
+                    self._step(task, value)
+                    continue
+                # Ready queue drained: advance the clock to the next timer.
+                timer = self._pop_timer()
+                if timer is None:
+                    break
+                if deadline is not None and timer.when > deadline:
+                    # Put it back; it fires on a later run_until call.
+                    heapq.heappush(self._timers, timer)
+                    self._now = deadline
+                    break
+                self._now = max(self._now, timer.when)
+                timer.action()
+        finally:
+            self._running = False
+            _KERNEL = prev
+
+    def _pop_timer(self) -> Optional[Timer]:
+        while self._timers:
+            timer = heapq.heappop(self._timers)
+            if not timer.cancelled:
+                return timer
+        return None
+
+    def _reschedule(self, task: Task, value: Any = None) -> None:
+        """Make a parked task runnable again with ``value`` as the await
+        result."""
+        if task.done:
+            return
+        task.state = _READY
+        task._unpark = None
+        self._ready.append((task, value))
+
+    def _step(self, task: Task, value: Any) -> None:
+        """Run one task until it blocks, yields, or finishes."""
+        self._current = task
+        task.state = _RUNNING
+        try:
+            while True:
+                try:
+                    if task._pending_exc is not None:
+                        exc = task._pending_exc
+                        task._pending_exc = None
+                        trap = task.coro.throw(exc)
+                    else:
+                        trap = task.coro.send(value)
+                except StopIteration as stop:
+                    self._finish(task, result=stop.value)
+                    return
+                except TaskCancelled:
+                    task.state = _CANCELLED
+                    self._finish(task, cancelled=True)
+                    return
+                except BaseException as exc:  # noqa: BLE001 - task crash
+                    task.exception = exc
+                    self._finish(task, failed=True)
+                    return
+
+                # Immediate traps keep the task running without a yield;
+                # blocking traps park it and return to the loop.
+                if isinstance(trap, _SpawnTrap):
+                    value = self.spawn(trap.coro, name=trap.name,
+                                       daemon=trap.daemon)
+                elif isinstance(trap, _CurrentTaskTrap):
+                    value = task
+                elif isinstance(trap, _YieldTrap):
+                    task.state = _READY
+                    self._ready.append((task, None))
+                    return
+                elif isinstance(trap, _SleepTrap):
+                    task.state = _WAITING
+                    timer = self.call_later(
+                        trap.delay, lambda t=task: self._wake_sleeper(t))
+                    task._sleep_timer = timer
+                    return
+                elif isinstance(trap, _SuspendTrap):
+                    task.state = _WAITING
+                    task._unpark = trap.unpark
+                    trap.park(task)
+                    return
+                elif isinstance(trap, _JoinTrap):
+                    target = trap.task
+                    if target.done:
+                        value = None
+                    else:
+                        task.state = _WAITING
+                        target._joiners.append(task)
+                        task._unpark = target._joiners.remove
+                        return
+                else:
+                    raise KernelError(f"unknown trap {trap!r} from "
+                                      f"{task.name}")
+        finally:
+            self._current = None
+
+    def _wake_sleeper(self, task: Task) -> None:
+        task._sleep_timer = None
+        self._reschedule(task)
+
+    def _finish(self, task: Task, result: Any = None, failed: bool = False,
+                cancelled: bool = False) -> None:
+        task.result = result
+        if cancelled:
+            task.state = _CANCELLED
+            task.cancelled = True
+        elif failed:
+            task.state = _DONE
+        else:
+            task.state = _DONE
+        del self._tasks[task.id]
+        joiners, task._joiners = task._joiners, []
+        for joiner in joiners:
+            self._reschedule(joiner)
+        if failed and not joiners and not task.daemon:
+            self.failures.append((task, task.exception))
+
+    def _cancel_task(self, task: Task) -> bool:
+        if task.done:
+            return False
+        if task is self._current:
+            raise KernelError("a task cannot cancel() itself; raise "
+                              "TaskCancelled instead")
+        task.cancelled = True
+        exc = TaskCancelled(f"{task.name} cancelled")
+        if task.state == _WAITING:
+            if task._unpark is not None:
+                task._unpark(task)
+                task._unpark = None
+            if task._sleep_timer is not None:
+                task._sleep_timer.cancel()
+                task._sleep_timer = None
+            task.state = _READY
+            task._pending_exc = exc
+            self._ready.append((task, None))
+        else:
+            # READY (queued) — deliver the exception when it next runs.
+            task._pending_exc = exc
+        return True
+
+    def _cancel_all(self, except_task: Optional[Task] = None) -> None:
+        for task in list(self._tasks.values()):
+            if task is except_task or task.done:
+                continue
+            task.cancel()
+        # Drain so cancellations actually execute their cleanup code.
+        self._loop(stop_when=lambda: False, deadline=self._now)
+
+
+# ----------------------------------------------------------------------
+# Awaitable convenience functions (usable from inside tasks)
+# ----------------------------------------------------------------------
+
+async def spawn(coro: Coroutine, *, name: str = "",
+                daemon: bool = False) -> Task:
+    """Spawn a child task from inside a running task."""
+    return await _invoke(_SpawnTrap(coro, name, daemon))
+
+
+async def sleep(delay: float) -> None:
+    """Suspend the current task for ``delay`` seconds of virtual time."""
+    await _invoke(_SleepTrap(delay))
+
+
+async def current_task() -> Task:
+    """Return the currently running :class:`Task`."""
+    return await _invoke(_CurrentTaskTrap())
+
+
+async def checkpoint_yield() -> None:
+    """Yield to the scheduler, letting other ready tasks run first."""
+    await _invoke(_YieldTrap())
+
+
+async def suspend(park: Callable[[Task], None],
+                  unpark: Callable[[Task], None]) -> Any:
+    """Park the current task; used by the synchronization primitives.
+
+    ``park(task)`` records the task in a wait structure and ``unpark(task)``
+    removes it (called if the task is cancelled while parked).  The task
+    resumes when :meth:`Kernel._reschedule` is called on it, returning the
+    value passed to ``_reschedule``.
+    """
+    return await _invoke(_SuspendTrap(park, unpark))

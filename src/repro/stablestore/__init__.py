@@ -1,0 +1,5 @@
+"""Simulated stable storage (crash-surviving state and checkpoints)."""
+
+from repro.stablestore.store import StableStore
+
+__all__ = ["StableStore"]

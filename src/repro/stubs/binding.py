@@ -1,0 +1,56 @@
+"""Service-name binding: resolving a service name to a server group.
+
+The paper cites binding as one of the aspects a full RPC system needs
+([BN84, LT91, BALL90]) and assumes the client stub "does binding".  This
+registry is the minimal realization: services register their group under
+a name, clients resolve names to groups, and rebinding (e.g. after a
+reconfiguration) is an atomic replace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import BindingError
+from repro.net.message import Group
+
+__all__ = ["BindingRegistry"]
+
+
+class BindingRegistry:
+    """A name -> :class:`~repro.net.message.Group` directory."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, Group] = {}
+
+    def bind(self, name: str, group: Group, *,
+             replace: bool = False) -> None:
+        """Register ``group`` under ``name``.
+
+        Refuses to overwrite an existing binding unless ``replace=True``,
+        so a typo can't silently hijack a live service name.
+        """
+        if name in self._bindings and not replace:
+            raise BindingError(
+                f"service {name!r} is already bound to "
+                f"{self._bindings[name].name!r}; pass replace=True to "
+                f"rebind")
+        self._bindings[name] = group
+
+    def lookup(self, name: str) -> Group:
+        group = self._bindings.get(name)
+        if group is None:
+            raise BindingError(f"no service bound to {name!r}; "
+                               f"known: {sorted(self._bindings)}")
+        return group
+
+    def unbind(self, name: str) -> None:
+        if name not in self._bindings:
+            raise BindingError(f"no service bound to {name!r}")
+        del self._bindings[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings

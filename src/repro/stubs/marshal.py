@@ -1,0 +1,152 @@
+"""Deterministic argument marshalling.
+
+The paper assumes "a stub for each RPC call that marshalls arguments ...
+From the perspective of gRPC, then, the arguments are treated as one
+continuous untyped field that is copied to and from messages."  This
+module produces that field: a compact, self-describing, deterministic
+binary encoding of plain Python data (None, bool, int, float, str, bytes,
+list, tuple, dict with string keys).
+
+Determinism matters for the reproduction: dict entries are encoded in
+sorted key order, so the same logical arguments always produce the same
+bytes — and therefore the same message sizes in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+from repro.errors import MarshalError
+
+__all__ = ["marshal", "unmarshal", "marshalled_size"]
+
+_NONE = b"N"
+_TRUE = b"T"
+_FALSE = b"F"
+_INT = b"I"
+_FLOAT = b"D"
+_STR = b"S"
+_BYTES = b"B"
+_LIST = b"L"
+_TUPLE = b"U"
+_DICT = b"M"
+
+
+def marshal(value: Any) -> bytes:
+    """Encode ``value`` into the untyped argument field."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def unmarshal(data: bytes) -> Any:
+    """Decode an argument field; rejects trailing garbage."""
+    value, offset = _decode(data, 0)
+    if offset != len(data):
+        raise MarshalError(
+            f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+def marshalled_size(value: Any) -> int:
+    """Size in bytes of the encoded value (benchmark helper)."""
+    return len(marshal(value))
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _NONE
+    elif value is True:
+        out += _TRUE
+    elif value is False:
+        out += _FALSE
+    elif isinstance(value, int):
+        raw = value.to_bytes((value.bit_length() + 8) // 8 or 1,
+                             "big", signed=True)
+        out += _INT
+        out += struct.pack(">I", len(raw))
+        out += raw
+    elif isinstance(value, float):
+        out += _FLOAT
+        out += struct.pack(">d", value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _STR
+        out += struct.pack(">I", len(raw))
+        out += raw
+    elif isinstance(value, bytes):
+        out += _BYTES
+        out += struct.pack(">I", len(value))
+        out += value
+    elif isinstance(value, (list, tuple)):
+        out += _LIST if isinstance(value, list) else _TUPLE
+        out += struct.pack(">I", len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        keys = list(value)
+        if not all(isinstance(k, str) for k in keys):
+            raise MarshalError("dict keys must be strings")
+        out += _DICT
+        out += struct.pack(">I", len(keys))
+        for key in sorted(keys):
+            _encode(key, out)
+            _encode(value[key], out)
+    else:
+        raise MarshalError(
+            f"cannot marshal {type(value).__name__}: only plain data "
+            f"(None/bool/int/float/str/bytes/list/tuple/dict) is allowed")
+
+
+def _decode(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise MarshalError("truncated value")
+    tag = data[offset:offset + 1]
+    offset += 1
+    if tag == _NONE:
+        return None, offset
+    if tag == _TRUE:
+        return True, offset
+    if tag == _FALSE:
+        return False, offset
+    if tag == _FLOAT:
+        _need(data, offset, 8)
+        return struct.unpack_from(">d", data, offset)[0], offset + 8
+    if tag in (_INT, _STR, _BYTES):
+        _need(data, offset, 4)
+        length = struct.unpack_from(">I", data, offset)[0]
+        offset += 4
+        _need(data, offset, length)
+        raw = data[offset:offset + length]
+        offset += length
+        if tag == _INT:
+            return int.from_bytes(raw, "big", signed=True), offset
+        if tag == _STR:
+            return raw.decode("utf-8"), offset
+        return bytes(raw), offset
+    if tag in (_LIST, _TUPLE):
+        _need(data, offset, 4)
+        count = struct.unpack_from(">I", data, offset)[0]
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode(data, offset)
+            items.append(item)
+        return (items if tag == _LIST else tuple(items)), offset
+    if tag == _DICT:
+        _need(data, offset, 4)
+        count = struct.unpack_from(">I", data, offset)[0]
+        offset += 4
+        result = {}
+        for _ in range(count):
+            key, offset = _decode(data, offset)
+            value, offset = _decode(data, offset)
+            result[key] = value
+        return result, offset
+    raise MarshalError(f"unknown tag byte {tag!r} at offset {offset - 1}")
+
+
+def _need(data: bytes, offset: int, n: int) -> None:
+    if offset + n > len(data):
+        raise MarshalError("truncated value")

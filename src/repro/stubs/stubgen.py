@@ -1,0 +1,144 @@
+"""Stub generation: typed client proxies and marshalling server shims.
+
+The paper assumes stubs exist above gRPC on both sides; this module
+generates them from a declarative :class:`ServiceInterface`:
+
+* :func:`client_stub` returns a proxy object with one async method per
+  operation.  Each method marshals its keyword arguments into the opaque
+  field, issues the group call, and unmarshals the collated reply —
+  raising :class:`~repro.errors.RPCTimeout` on bounded-termination
+  expiry so stub users get exceptions, not status codes.
+* :class:`MarshallingApp` wraps any :class:`~repro.apps.dispatcher.
+  ServerApp` so it receives unmarshalled arguments and returns marshalled
+  replies, completing the round trip.
+
+With collation functions other than return-any, replies arriving at the
+stub may be *lists* of marshalled fields; the stub unmarshals element-wise
+in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.apps.dispatcher import ServerApp
+from repro.core.grpc import GroupRPC
+from repro.core.messages import CallResult, Status
+from repro.errors import RPCAborted, RPCTimeout, UnknownCallError
+from repro.net.message import Group
+from repro.stubs.marshal import marshal, unmarshal
+
+__all__ = ["ServiceInterface", "ClientStub", "client_stub",
+           "MarshallingApp", "unmarshalled_collation"]
+
+
+def unmarshalled_collation(func, init):
+    """Adapt a value-level collation function to marshalled replies.
+
+    Server replies travelling through stubs are opaque marshalled fields;
+    ``unmarshalled_collation(average, None)`` decodes each reply before
+    folding, so numeric collators (average, sum, majority vote) work
+    unchanged.  Returns the ``(cum_func, init)`` pair a
+    :class:`~repro.core.config.ServiceSpec` expects.
+    """
+    def wrapper(acc, reply):
+        return func(acc, unmarshal(reply) if isinstance(reply, bytes)
+                    else reply)
+    wrapper.__name__ = f"unmarshalled_{getattr(func, '__name__', 'fold')}"
+    return (wrapper, init)
+
+
+@dataclass(frozen=True)
+class ServiceInterface:
+    """A named set of operations a service exports."""
+
+    name: str
+    operations: Tuple[str, ...]
+
+    def __init__(self, name: str, operations: Iterable[str]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "operations", tuple(operations))
+        if not self.operations:
+            raise UnknownCallError(f"interface {name!r} has no operations")
+
+
+class ClientStub:
+    """A proxy whose attributes are the interface's operations.
+
+    ``await stub.put(key="k", value=1)`` marshals the kwargs, performs
+    the group call, and returns the unmarshalled collated result.
+    """
+
+    def __init__(self, interface: ServiceInterface, grpc: GroupRPC,
+                 group: Group):
+        self._interface = interface
+        self._grpc = grpc
+        self._group = group
+        for op in interface.operations:
+            setattr(self, op, self._make_method(op))
+
+    def _make_method(self, op: str):
+        async def method(**kwargs: Any) -> Any:
+            payload = marshal(kwargs)
+            result = await self._grpc.call(op, payload, self._group)
+            return self._decode(op, result)
+        method.__name__ = op
+        method.__qualname__ = f"{self._interface.name}.{op}"
+        method.__doc__ = (f"Invoke {op!r} on service "
+                          f"{self._interface.name!r} via group RPC.")
+        return method
+
+    def _decode(self, op: str, result: CallResult) -> Any:
+        if result.status is Status.TIMEOUT:
+            raise RPCTimeout(f"{self._interface.name}.{op} timed out "
+                             f"(call id {result.id})")
+        if result.status is not Status.OK:
+            raise RPCAborted(f"{self._interface.name}.{op} ended with "
+                             f"{result.status}")
+        return _unmarshal_result(result.args)
+
+
+def _unmarshal_result(args: Any) -> Any:
+    if args is None:
+        return None
+    if isinstance(args, bytes):
+        return unmarshal(args)
+    if isinstance(args, list):   # return-all collation of opaque fields
+        return [_unmarshal_result(item) for item in args]
+    return args
+
+
+def client_stub(interface: ServiceInterface, grpc: GroupRPC,
+                group: Group) -> ClientStub:
+    """Generate the client-side stub for ``interface``."""
+    return ClientStub(interface, grpc, group)
+
+
+class MarshallingApp(ServerApp):
+    """Server-side shim: unmarshal request, run app, marshal reply."""
+
+    def __init__(self, inner: ServerApp):
+        super().__init__()
+        self.inner = inner
+
+    def bind(self, node) -> None:
+        super().bind(node)
+        self.inner.bind(node)
+
+    async def handle(self, op: str, args: Any) -> Any:
+        kwargs = unmarshal(args) if isinstance(args, bytes) else args
+        result = await self.inner.handle(op, kwargs)
+        return marshal(result)
+
+    # State hooks delegate so Atomic Execution and crashes see the real
+    # application state.
+
+    def get_state(self) -> Any:
+        return self.inner.get_state()
+
+    def set_state(self, state: Any) -> None:
+        self.inner.set_state(state)
+
+    def on_crash(self) -> None:
+        self.inner.on_crash()

@@ -1,0 +1,40 @@
+"""Payload-type demultiplexing above the transport.
+
+The x-kernel demultiplexes arriving messages to the right upper protocol;
+our reduced UPI does the same by payload type.  A :class:`TypeDemux` sits
+directly on the transport and routes each arrived payload to whichever
+upper protocol claimed its type — gRPC claims :class:`~repro.core.
+messages.NetMsg`, the heartbeat membership detector claims its
+``Heartbeat`` payloads, and so on.  Pushes from any of the uppers pass
+straight down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Type
+
+from repro.xkernel.upi import Protocol
+
+__all__ = ["TypeDemux"]
+
+
+class TypeDemux(Protocol):
+    """Routes popped payloads by their Python type."""
+
+    def __init__(self, name: str = "demux"):
+        super().__init__(name)
+        self._routes: Dict[Type, Protocol] = {}
+
+    def attach(self, payload_type: Type, upper: Protocol) -> None:
+        """Deliver payloads of ``payload_type`` (or subclasses) to
+        ``upper``; also wires ``upper.lower`` to this demux for pushes."""
+        self._routes[payload_type] = upper
+        upper.lower = self
+
+    async def pop(self, payload: Any, **kwargs: Any) -> Any:
+        for payload_type, upper in self._routes.items():
+            if isinstance(payload, payload_type):
+                return await upper.pop(payload, **kwargs)
+        # Unclaimed payload types are dropped silently, like a port with
+        # no listener.
+        return None

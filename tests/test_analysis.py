@@ -1,0 +1,102 @@
+"""The invariant checkers: unit behavior + cluster integration."""
+
+import pytest
+
+from repro import LinkSpec, ServiceCluster, ServiceSpec
+from repro.analysis import (
+    check_exactly_once_cluster,
+    check_execution_counts,
+    check_fifo_per_client,
+    check_identical_sequences,
+    check_prefix_consistency,
+    check_subsequence,
+    check_total_order_cluster,
+)
+from repro.apps import CounterApp, KVStore
+
+
+def test_identical_sequences_passes_and_fails():
+    ok = check_identical_sequences({1: ["a", "b"], 2: ["a", "b"]})
+    assert ok and not ok.violations
+    bad = check_identical_sequences({1: ["a", "b"], 2: ["b", "a"]})
+    assert not bad
+    assert "diverged" in bad.violations[0]
+    with pytest.raises(AssertionError):
+        bad.raise_if_failed()
+
+
+def test_prefix_consistency():
+    assert check_prefix_consistency({1: ["a", "b", "c"], 2: ["a", "b"]})
+    assert check_prefix_consistency({1: [], 2: ["a"]})
+    bad = check_prefix_consistency({1: ["a", "x"], 2: ["a", "y", "z"]})
+    assert not bad
+
+
+def test_subsequence_checker():
+    assert check_subsequence(["a", "c"], ["a", "b", "c", "d"])
+    assert check_subsequence([], ["a"])
+    # Items absent from the observation are not violations (the replica
+    # may simply not have received them yet)...
+    assert check_subsequence(["a", "zz"], ["a"])
+    # ...but present-and-misordered is.
+    assert not check_subsequence(["c", "a"], ["a", "b", "c"])
+
+
+def test_fifo_per_client_checker():
+    clients = {"A": ["a1", "a2"], "B": ["b1", "b2"]}
+    good_logs = {1: ["a1", "b1", "a2", "b2"],
+                 2: ["b1", "b2", "a1", "a2"]}
+    assert check_fifo_per_client(clients, good_logs)
+    bad_logs = {1: ["a2", "a1", "b1", "b2"]}
+    result = check_fifo_per_client(clients, bad_logs)
+    assert not result
+    assert "client A" in result.violations[0]
+
+
+def test_execution_counts_checker():
+    assert check_execution_counts({"t": 1}, at_least=1, at_most=1)
+    low = check_execution_counts({"t": 0}, at_least=1)
+    assert not low and "<" in low.violations[0]
+    high = check_execution_counts({"t": 3}, at_most=1)
+    assert not high and ">" in high.violations[0]
+
+
+# ----------------------------------------------------------------------
+# Cluster integration
+# ----------------------------------------------------------------------
+
+FAST = LinkSpec(delay=0.005, jitter=0.0)
+
+
+def test_total_order_cluster_checker_green():
+    spec = ServiceSpec(unique=True, ordering="total", acceptance=3,
+                       bounded=0.0)
+    cluster = ServiceCluster(spec, KVStore, n_servers=3,
+                             default_link=FAST)
+    for i in range(4):
+        cluster.call_and_run("put", {"key": f"k{i}", "value": i},
+                             extra_time=0.2)
+    check_total_order_cluster(cluster).raise_if_failed()
+
+
+def test_total_order_cluster_checker_catches_divergence():
+    spec = ServiceSpec(acceptance=3, bounded=5.0)
+    cluster = ServiceCluster(spec, KVStore, n_servers=2,
+                             default_link=FAST)
+    cluster.call_and_run("put", {"key": "k", "value": 1},
+                         extra_time=0.2)
+    # Manually corrupt one replica's log to prove detection works.
+    cluster.app(2).apply_log.append(("put", "phantom", None))
+    assert not check_total_order_cluster(cluster)
+
+
+def test_exactly_once_cluster_checker():
+    spec = ServiceSpec(unique=True, acceptance=2, bounded=5.0)
+    cluster = ServiceCluster(spec, CounterApp, n_servers=2,
+                             default_link=FAST)
+    for i in range(3):
+        cluster.call_and_run("inc", {"amount": 1, "tag": i},
+                             extra_time=0.2)
+    check_exactly_once_cluster(cluster, range(3)).raise_if_failed()
+    # A never-issued tag fails the at_least side.
+    assert not check_exactly_once_cluster(cluster, ["ghost"])

@@ -1,0 +1,67 @@
+"""Property-based tests for the analysis checkers and delta functions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    check_identical_sequences,
+    check_prefix_consistency,
+    check_subsequence,
+)
+from repro.core.microprotocols.atomic_execution import (
+    apply_delta,
+    state_delta,
+)
+
+seq = st.lists(st.integers(0, 9), max_size=12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(seq)
+def test_identical_sequences_reflexive(s):
+    assert check_identical_sequences({1: s, 2: list(s), 3: list(s)})
+
+
+@settings(max_examples=150, deadline=None)
+@given(seq, st.integers(0, 12))
+def test_prefixes_are_always_prefix_consistent(s, cut):
+    assert check_prefix_consistency({1: s, 2: s[:cut]})
+
+
+@settings(max_examples=150, deadline=None)
+@given(seq, seq)
+def test_prefix_consistency_detects_first_divergence(a, b):
+    result = check_prefix_consistency({1: a, 2: b})
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    assert bool(result) == (longer[:len(shorter)] == shorter)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.integers(0, 20), max_size=15, unique=True),
+       st.data())
+def test_any_subset_in_order_is_a_subsequence(observed, data):
+    picked = data.draw(st.lists(st.sampled_from(observed or [0]),
+                                unique=True, max_size=len(observed)))
+    # Keep picked items in the order they appear in `observed`.
+    expected = [x for x in observed if x in set(picked)]
+    assert check_subsequence(expected, observed)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.dictionaries(st.text(max_size=6),
+                       st.integers() | st.text(max_size=8) | st.none(),
+                       max_size=10),
+       st.dictionaries(st.text(max_size=6),
+                       st.integers() | st.text(max_size=8) | st.none(),
+                       max_size=10))
+def test_state_delta_apply_roundtrip_property(old, new):
+    delta = state_delta(old, new)
+    state = dict(old)
+    apply_delta(state, delta)
+    assert state == new
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.dictionaries(st.text(max_size=6), st.integers(), max_size=10))
+def test_state_delta_of_identity_is_empty_property(state):
+    assert state_delta(state, dict(state)) == {}

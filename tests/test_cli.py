@@ -1,0 +1,46 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "RPC_Main" in out
+    assert "micro-protocol catalog" in out
+    assert "causal" in out   # extension choices are listed
+
+
+def test_enumerate(capsys):
+    assert main(["enumerate"]) == 0
+    out = capsys.readouterr().out
+    assert "198" in out and "186" in out and "11" in out
+
+
+def test_demo(capsys):
+    assert main(["demo", "--servers", "2", "--calls", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("OK") >= 2
+    assert "keys: ['k0', 'k1']" in out
+
+
+@pytest.mark.parametrize("ordering", ["none", "total"])
+def test_trace(capsys, ordering):
+    assert main(["trace", "--ordering", ordering]) == 0
+    out = capsys.readouterr().out
+    assert "issued" in out and "executed" in out
+    assert "status OK" in out
+    if ordering == "total":
+        assert "received-Order" in out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,163 @@
+"""Configuration validation and the Figure-4 enumeration."""
+
+import pytest
+
+from repro.core.config import (
+    ServiceSpec,
+    at_least_once,
+    at_most_once,
+    exactly_once,
+    read_optimized,
+    replicated_state_machine,
+    validate,
+)
+from repro.core.enumerate import (
+    enumerate_services,
+    figure4_choice_groups,
+    figure4_edges,
+    iter_cluster_combinations,
+)
+from repro.errors import ConfigurationError, DependencyError
+
+
+# ----------------------------------------------------------------------
+# Validation (Figure 4 dependencies)
+# ----------------------------------------------------------------------
+
+def test_default_spec_is_valid():
+    validate(ServiceSpec())
+
+
+def test_unknown_choices_rejected():
+    with pytest.raises(ConfigurationError):
+        validate(ServiceSpec(call="telepathic"))
+    with pytest.raises(ConfigurationError):
+        validate(ServiceSpec(orphans="adopt"))
+    with pytest.raises(ConfigurationError):
+        validate(ServiceSpec(execution="parallel"))
+    with pytest.raises(ConfigurationError):
+        validate(ServiceSpec(ordering="alphabetical"))
+
+
+def test_unique_requires_reliable():
+    with pytest.raises(DependencyError):
+        validate(ServiceSpec(unique=True, reliable=False))
+
+
+def test_fifo_requires_reliable():
+    with pytest.raises(DependencyError):
+        validate(ServiceSpec(ordering="fifo", reliable=False))
+
+
+def test_total_requires_unique_reliable_unbounded():
+    with pytest.raises(DependencyError):
+        validate(ServiceSpec(ordering="total", unique=False,
+                             reliable=True))
+    with pytest.raises(DependencyError):
+        validate(ServiceSpec(ordering="total", unique=True,
+                             reliable=False))
+    with pytest.raises(DependencyError):
+        validate(ServiceSpec(ordering="total", unique=True,
+                             reliable=True, bounded=1.0))
+    validate(ServiceSpec(ordering="total", unique=True, reliable=True))
+
+
+def test_interference_avoidance_requires_reliable():
+    with pytest.raises(DependencyError):
+        validate(ServiceSpec(orphans="avoid", reliable=False))
+    validate(ServiceSpec(orphans="terminate", reliable=False))
+
+
+def test_bad_numeric_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        validate(ServiceSpec(bounded=-1.0))
+    with pytest.raises(ConfigurationError):
+        validate(ServiceSpec(acceptance=0))
+
+
+def test_build_composes_expected_microprotocols():
+    names = ServiceSpec().micro_protocol_names()
+    assert names == ["RPC_Main", "Synchronous_Call",
+                     "Reliable_Communication", "Collation", "Acceptance"]
+
+    names = ServiceSpec(
+        call="asynchronous", unique=True, execution="atomic",
+        ordering="total", orphans="terminate").micro_protocol_names()
+    assert names == ["RPC_Main", "Asynchronous_Call",
+                     "Reliable_Communication", "Unique_Execution",
+                     "Serial_Execution", "Atomic_Execution", "Total_Order",
+                     "Terminate_Orphan", "Collation", "Acceptance"]
+
+
+def test_build_returns_fresh_instances():
+    spec = ServiceSpec()
+    first = spec.build()
+    second = spec.build()
+    assert first[0] is not second[0]
+
+
+def test_presets_have_documented_semantics():
+    assert at_least_once().failure_semantics == "at least once"
+    assert exactly_once().failure_semantics == "exactly once"
+    assert at_most_once().failure_semantics == "at most once"
+    ro = read_optimized(timebound=2.5)
+    assert ro.acceptance == 1 and ro.bounded == 2.5 and ro.reliable
+    rsm = replicated_state_machine(5)
+    assert rsm.ordering == "total" and rsm.acceptance == 5
+    validate(rsm)
+
+
+def test_section5_composition_matches_paper():
+    # protocol RPC_Service = RPC_main || Synchronous_Call ||
+    #   Reliable_Communication(timeout) || Bounded_Termination(1.0) ||
+    #   Collation(id, 0) || Acceptance(1)
+    names = read_optimized(timebound=1.0).micro_protocol_names()
+    assert names == ["RPC_Main", "Synchronous_Call",
+                     "Reliable_Communication", "Bounded_Termination",
+                     "Collation", "Acceptance"]
+
+
+def test_with_is_non_destructive():
+    base = ServiceSpec()
+    changed = base.with_(unique=True)
+    assert base.unique is False and changed.unique is True
+
+
+# ----------------------------------------------------------------------
+# Enumeration (the paper's 198)
+# ----------------------------------------------------------------------
+
+def test_cluster_combinations_count_is_11():
+    assert len(list(iter_cluster_combinations())) == 11
+
+
+def test_paper_count_is_198():
+    result = enumerate_services()
+    assert result.call_choices == 2
+    assert result.orphan_choices == 3
+    assert result.execution_choices == 3
+    assert result.cluster_choices == 11
+    assert result.paper_count == 198
+
+
+def test_strict_count_enforces_every_figure4_edge():
+    result = enumerate_services()
+    assert result.strict_count == 186   # 198 - 12 (avoid x unreliable)
+    # Every strict spec must validate and be buildable, and always
+    # contains the minimal functional set (Main, call, Collation,
+    # Acceptance).
+    for spec in result.strict_specs[:20]:
+        assert len(spec.build()) >= 4
+
+
+def test_strict_specs_are_unique():
+    result = enumerate_services()
+    assert len(set(result.strict_specs)) == result.strict_count
+
+
+def test_figure4_graph_shape():
+    edges = figure4_edges()
+    assert ("Total_Order", "Unique_Execution") in edges
+    assert ("Atomic_Execution", "Serial_Execution") in edges
+    groups = figure4_choice_groups()
+    assert ("Synchronous_Call", "Asynchronous_Call") in groups

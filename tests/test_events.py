@@ -1,0 +1,297 @@
+"""Unit tests for the event framework (register/trigger/cancel/TIMEOUT)."""
+
+import pytest
+
+from repro.core.events import LOWEST_PRIORITY, TIMEOUT, EventBus
+from repro.errors import KernelError
+from repro.runtime import SimRuntime
+
+
+def make_bus():
+    rt = SimRuntime()
+    return rt, EventBus(rt)
+
+
+def test_trigger_runs_handlers_in_priority_order():
+    rt, bus = make_bus()
+    order = []
+
+    async def h1(x):
+        order.append(("h1", x))
+
+    async def h2(x):
+        order.append(("h2", x))
+
+    async def h3(x):
+        order.append(("h3", x))
+
+    bus.register("E", h3)          # default: lowest, runs last
+    bus.register("E", h1, 1)
+    bus.register("E", h2, 2)
+
+    async def main():
+        completed = await bus.trigger("E", 42)
+        assert completed
+
+    rt.run(main())
+    assert order == [("h1", 42), ("h2", 42), ("h3", 42)]
+
+
+def test_equal_priority_runs_in_registration_order():
+    rt, bus = make_bus()
+    order = []
+
+    async def a():
+        order.append("a")
+
+    async def b():
+        order.append("b")
+
+    bus.register("E", a, 2)
+    bus.register("E", b, 2)
+
+    rt.run(bus.trigger("E"))
+    assert order == ["a", "b"]
+
+
+def test_trigger_with_no_handlers_is_noop():
+    rt, bus = make_bus()
+
+    async def main():
+        assert await bus.trigger("GHOST") is True
+
+    rt.run(main())
+
+
+def test_cancel_event_skips_remaining_handlers():
+    rt, bus = make_bus()
+    order = []
+
+    async def first():
+        order.append("first")
+        bus.cancel_event()
+
+    async def second():
+        order.append("second")
+
+    bus.register("E", first, 1)
+    bus.register("E", second, 2)
+
+    async def main():
+        completed = await bus.trigger("E")
+        assert not completed
+
+    rt.run(main())
+    assert order == ["first"]
+
+
+def test_cancel_event_outside_dispatch_raises():
+    rt, bus = make_bus()
+
+    async def main():
+        with pytest.raises(KernelError):
+            bus.cancel_event()
+
+    rt.run(main())
+
+
+def test_nested_trigger_cancellation_is_scoped():
+    rt, bus = make_bus()
+    order = []
+
+    async def inner_handler():
+        order.append("inner")
+        bus.cancel_event()  # cancels only the inner dispatch
+
+    async def outer_first():
+        order.append("outer-first")
+        completed = await bus.trigger("INNER")
+        assert not completed
+
+    async def outer_second():
+        order.append("outer-second")
+
+    bus.register("INNER", inner_handler)
+    bus.register("OUTER", outer_first, 1)
+    bus.register("OUTER", outer_second, 2)
+
+    async def main():
+        assert await bus.trigger("OUTER") is True
+
+    rt.run(main())
+    assert order == ["outer-first", "inner", "outer-second"]
+
+
+def test_concurrent_dispatches_do_not_cross_cancel():
+    from repro.sim import sleep, spawn
+
+    rt, bus = make_bus()
+    order = []
+
+    async def slow_handler(tag):
+        order.append(f"start-{tag}")
+        await rt.sleep(1.0)
+        if tag == "a":
+            bus.cancel_event()
+        order.append(f"end-{tag}")
+
+    async def follower(tag):
+        order.append(f"follower-{tag}")
+
+    bus.register("E", slow_handler, 1)
+    bus.register("E", follower, 2)
+
+    async def main():
+        t1 = await spawn(bus.trigger("E", "a"))
+        t2 = await spawn(bus.trigger("E", "b"))
+        assert await t1.join() is False   # "a" cancelled its own chain
+        assert await t2.join() is True    # "b" unaffected
+
+    rt.run(main())
+    assert "follower-b" in order and "follower-a" not in order
+
+
+def test_deregister_removes_handler():
+    rt, bus = make_bus()
+    calls = []
+
+    async def h():
+        calls.append(1)
+
+    bus.register("E", h)
+    rt.run(bus.trigger("E"))
+    assert bus.deregister("E", h) is True
+    assert bus.deregister("E", h) is False
+    rt.run(bus.trigger("E"))
+    assert calls == [1]
+
+
+def test_registration_during_dispatch_takes_effect_next_time():
+    rt, bus = make_bus()
+    calls = []
+
+    async def late():
+        calls.append("late")
+
+    async def installer():
+        calls.append("installer")
+        bus.register("E", late, 5)
+
+    bus.register("E", installer, 1)
+
+    async def main():
+        await bus.trigger("E")
+        assert calls == ["installer"]   # snapshot: late not run this time
+        await bus.trigger("E")
+
+    rt.run(main())
+    assert calls == ["installer", "installer", "late"]
+
+
+def test_timeout_is_one_shot():
+    rt, bus = make_bus()
+    fired = []
+
+    async def on_timeout():
+        fired.append(rt.now())
+
+    bus.register(TIMEOUT, on_timeout, 2.0)
+    assert bus.pending_timeouts() == 1
+    rt.kernel.run_until(10.0)
+    assert fired == [2.0]
+    assert bus.pending_timeouts() == 0
+
+
+def test_timeout_requires_interval():
+    rt, bus = make_bus()
+
+    async def on_timeout():
+        pass
+
+    with pytest.raises(KernelError):
+        bus.register(TIMEOUT, on_timeout)
+
+
+def test_timeout_rearm_gives_periodic_behavior():
+    rt, bus = make_bus()
+    fired = []
+
+    async def on_timeout():
+        fired.append(rt.now())
+        if len(fired) < 3:
+            bus.register(TIMEOUT, on_timeout, 1.0)
+
+    bus.register(TIMEOUT, on_timeout, 1.0)
+    rt.kernel.run_until(10.0)
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_timeout_deregister_cancels_pending():
+    rt, bus = make_bus()
+    fired = []
+
+    async def on_timeout():
+        fired.append(1)
+
+    bus.register(TIMEOUT, on_timeout, 1.0)
+    assert bus.deregister(TIMEOUT, on_timeout) is True
+    rt.kernel.run_until(5.0)
+    assert fired == []
+
+
+def test_independent_timeouts_fire_independently():
+    rt, bus = make_bus()
+    fired = []
+
+    async def t1():
+        fired.append(("t1", rt.now()))
+
+    async def t2():
+        fired.append(("t2", rt.now()))
+
+    bus.register(TIMEOUT, t1, 3.0)
+    bus.register(TIMEOUT, t2, 1.0)
+    rt.kernel.run_until(5.0)
+    assert fired == [("t2", 1.0), ("t1", 3.0)]
+
+
+def test_cancel_pending_timeouts():
+    rt, bus = make_bus()
+    fired = []
+
+    async def on_timeout():
+        fired.append(1)
+
+    bus.register(TIMEOUT, on_timeout, 1.0)
+    bus.register(TIMEOUT, on_timeout, 2.0)
+    bus.cancel_pending_timeouts()
+    rt.kernel.run_until(5.0)
+    assert fired == []
+    assert bus.pending_timeouts() == 0
+
+
+def test_registration_table_lists_handler_names():
+    rt, bus = make_bus()
+
+    async def alpha():
+        pass
+
+    async def beta():
+        pass
+
+    bus.register("E", beta, 2)
+    bus.register("E", alpha, 1)
+    table = bus.registration_table()
+    names = table["E"]
+    assert names[0].endswith("alpha")
+    assert names[1].endswith("beta")
+
+
+def test_default_priority_is_lowest():
+    rt, bus = make_bus()
+
+    async def h():
+        pass
+
+    reg = bus.register("E", h)
+    assert reg.priority == LOWEST_PRIORITY

@@ -1,0 +1,109 @@
+"""Unit tests for the fault-injection utilities."""
+
+import pytest
+
+from repro import LinkSpec, ServiceCluster, ServiceSpec
+from repro.apps import KVStore
+from repro.faults import (
+    CrashSchedule,
+    all_acks,
+    all_replies,
+    calls_to,
+    drop_first,
+    drop_matching,
+    net_msg,
+    order_messages,
+    replies_from,
+)
+
+FAST = LinkSpec(delay=0.005, jitter=0.0)
+
+
+def make_cluster(**kwargs):
+    spec = kwargs.pop("spec", ServiceSpec(bounded=5.0, unique=True))
+    return ServiceCluster(spec, KVStore, n_servers=2,
+                          default_link=FAST, **kwargs)
+
+
+def test_drop_matching_counts_and_removes():
+    cluster = make_cluster()
+    fault = drop_matching(cluster.fabric, calls_to(1))
+    result = cluster.call_and_run("put", {"key": "k", "value": 1},
+                                  extra_time=0.3)
+    assert result.ok                       # server 2 answered
+    assert fault.matched > 0
+    assert fault.dropped == fault.matched  # unlimited drop
+    fault.remove()
+    before = fault.dropped
+    cluster.call_and_run("get", {"key": "k"}, extra_time=0.3)
+    assert fault.dropped == before         # no longer active
+
+
+def test_drop_first_limits_drops():
+    # acceptance=2 so the call cannot complete without server 1,
+    # forcing retransmissions through the limited drop filter.
+    cluster = make_cluster(spec=ServiceSpec(bounded=5.0, unique=True,
+                                            acceptance=2))
+    fault = drop_first(cluster.fabric, 2, calls_to(1))
+    result = cluster.call_and_run("put", {"key": "k", "value": 1},
+                                  extra_time=0.5)
+    assert result.ok
+    assert fault.dropped == 2
+    assert fault.matched >= 3   # retransmissions got through eventually
+
+
+def test_predicates_select_correct_messages():
+    cluster = make_cluster()
+    seen = {"replies": 0, "acks": 0, "orders": 0}
+    rf = replies_from(1)
+    ar = all_replies()
+    aa = all_acks()
+    om = order_messages()
+
+    def spy(env):
+        if ar(env):
+            seen["replies"] += 1
+            assert rf(env) == (env.src == 1)
+        if aa(env):
+            seen["acks"] += 1
+        if om(env):
+            seen["orders"] += 1
+        return True
+
+    cluster.fabric.add_filter(spy)
+    cluster.call_and_run("put", {"key": "k", "value": 1}, extra_time=0.5)
+    assert seen["replies"] == 2   # both servers replied
+    assert seen["acks"] == 2      # client ACKed both (unique execution)
+    assert seen["orders"] == 0    # no total order configured
+
+
+def test_net_msg_unwraps_only_grpc_payloads():
+    from repro.net.message import Envelope
+
+    env = Envelope(1, 2, "not-a-netmsg", 0.0)
+    assert net_msg(env) is None
+
+
+def test_crash_schedule_bounce():
+    cluster = make_cluster()
+    schedule = CrashSchedule(cluster.runtime,
+                             [cluster.node(pid)
+                              for pid in cluster.server_pids])
+    schedule.bounce(1, down_at=0.5, up_at=1.5)
+    cluster.settle(1.0)
+    assert not cluster.node(1).up
+    assert cluster.node(2).up
+    cluster.settle(1.0)
+    assert cluster.node(1).up
+    assert cluster.node(1).incarnation == 2
+
+
+def test_crash_schedule_relative_to_now():
+    cluster = make_cluster()
+    cluster.settle(2.0)   # now = 2.0
+    schedule = CrashSchedule(cluster.runtime, [cluster.node(1)])
+    schedule.crash_at(2.5, 1)
+    cluster.settle(0.4)
+    assert cluster.node(1).up
+    cluster.settle(0.2)
+    assert not cluster.node(1).up

@@ -1,0 +1,199 @@
+"""Focused unit tests for micro-protocol pieces and framework wiring."""
+
+import pytest
+
+from repro import Group, LinkSpec, ServiceCluster, ServiceSpec, Status
+from repro.apps import KVStore
+from repro.core.framework import CompositeProtocol, MicroProtocol
+from repro.core.messages import MemChange
+from repro.core.microprotocols import (
+    ALL,
+    Acceptance,
+    BoundedTermination,
+    Prio,
+    ReliableCommunication,
+    all_replies,
+    average,
+    first_reply,
+    last_reply,
+    majority_vote,
+)
+from repro.errors import ConfigurationError, ReproError
+from repro.runtime import SimRuntime
+
+FAST = LinkSpec(delay=0.005, jitter=0.0)
+
+
+# ----------------------------------------------------------------------
+# Priorities
+# ----------------------------------------------------------------------
+
+def test_priority_ladder_is_ordered_as_documented():
+    assert Prio.RELIABLE < Prio.MAIN_DEDUP < Prio.UNIQUE \
+        < Prio.ORPHAN < Prio.UNIQUE_ADMIT < Prio.MAIN
+    assert Prio.MAIN <= Prio.ACCEPTANCE < Prio.COLLATION <= Prio.TOTAL \
+        < Prio.FIFO
+    assert Prio.TOTAL_ASSIGN < Prio.MAIN
+
+
+# ----------------------------------------------------------------------
+# Collation functions (pure)
+# ----------------------------------------------------------------------
+
+def test_stock_collators():
+    assert last_reply("old", "new") == "new"
+    assert first_reply(None, "a") == "a"
+    assert first_reply("a", "b") == "a"
+    acc = []
+    acc = all_replies(acc, 1)
+    acc = all_replies(acc, 2)
+    assert acc == [1, 2]
+    acc = average(None, 10.0)
+    acc = average(acc, 20.0)
+    assert acc == (15.0, 2)
+    votes = majority_vote({}, "x")
+    votes = majority_vote(votes, "x")
+    votes = majority_vote(votes, "y")
+    assert votes == {"x": 2, "y": 1}
+    assert max(votes, key=votes.get) == "x"
+
+
+# ----------------------------------------------------------------------
+# Constructor validation
+# ----------------------------------------------------------------------
+
+def test_microprotocol_parameter_validation():
+    with pytest.raises(ValueError):
+        ReliableCommunication(0.0)
+    with pytest.raises(ValueError):
+        BoundedTermination(0.0)
+    with pytest.raises(ValueError):
+        Acceptance(0)
+
+
+# ----------------------------------------------------------------------
+# Framework wiring
+# ----------------------------------------------------------------------
+
+def test_microprotocol_cannot_attach_twice():
+    rt = SimRuntime()
+
+    class Noop(MicroProtocol):
+        def configure(self):
+            pass
+
+    composite_a = CompositeProtocol("a", rt)
+    composite_b = CompositeProtocol("b", rt)
+    micro = Noop()
+    composite_a.add(micro)
+    with pytest.raises(ConfigurationError):
+        composite_b.add(micro)
+
+
+def test_composite_micro_lookup():
+    rt = SimRuntime()
+
+    class Named(MicroProtocol):
+        protocol_name = "The_One"
+
+        def configure(self):
+            pass
+
+    composite = CompositeProtocol("c", rt)
+    named = Named()
+    composite.add(named)
+    assert composite.micro("The_One") is named
+    assert composite.has_micro("The_One")
+    assert not composite.has_micro("The_Other")
+    with pytest.raises(KeyError):
+        composite.micro("The_Other")
+
+
+def test_microprotocol_default_name_is_class_name():
+    class Anon(MicroProtocol):
+        def configure(self):
+            pass
+
+    assert Anon().name == "Anon"
+
+
+# ----------------------------------------------------------------------
+# GroupRPC membership surface
+# ----------------------------------------------------------------------
+
+def test_membership_surface_defaults_and_updates():
+    cluster = ServiceCluster(ServiceSpec(), KVStore, n_servers=2,
+                             default_link=FAST)
+    grpc = cluster.grpc(cluster.client)
+    # No membership service: everyone presumed alive.
+    assert grpc.members is None
+    assert grpc.is_member_alive(1)
+    assert grpc.is_member_alive(999)
+    grpc.set_members({1, 2})
+    assert not grpc.is_member_alive(999)
+    grpc.membership_change(2, MemChange.FAILURE)
+    assert grpc.members == {1}
+    grpc.membership_change(2, MemChange.RECOVERY)
+    assert grpc.members == {1, 2}
+    cluster.settle(0.01)   # drain the spawned MEMBERSHIP_CHANGE events
+
+
+# ----------------------------------------------------------------------
+# Acceptance behavior details
+# ----------------------------------------------------------------------
+
+def test_acceptance_limit_clamped_to_group_size():
+    cluster = ServiceCluster(ServiceSpec(acceptance=ALL, bounded=10.0),
+                             KVStore, n_servers=2, default_link=FAST)
+    result = cluster.call_and_run("get", {"key": "k"}, extra_time=0.2)
+    assert result.ok   # ALL with 2 members means 2, not 10^9
+
+
+def test_late_replies_after_completion_are_harmless():
+    # acceptance=1 of 3: two replies arrive after the record is retired;
+    # the event chain is cancelled and nothing misbehaves.
+    cluster = ServiceCluster(ServiceSpec(acceptance=1, bounded=10.0),
+                             KVStore, n_servers=3, default_link=FAST)
+    result = cluster.call_and_run("get", {"key": "k"}, extra_time=0.5)
+    assert result.ok
+    assert len(cluster.grpc(cluster.client).pRPC) == 0
+
+
+def test_status_ok_not_overwritten_by_late_timeout():
+    # The call completes quickly; the bounded-termination timer fires
+    # later against a missing/settled record without corrupting anything.
+    cluster = ServiceCluster(ServiceSpec(acceptance=1, bounded=0.3),
+                             KVStore, n_servers=1, default_link=FAST)
+    result = cluster.call_and_run("get", {"key": "k"}, extra_time=1.0)
+    assert result.status is Status.OK
+
+
+# ----------------------------------------------------------------------
+# ServiceCluster API
+# ----------------------------------------------------------------------
+
+def test_cluster_rejects_bad_arguments():
+    with pytest.raises(ReproError):
+        ServiceCluster(ServiceSpec(), KVStore, n_servers=0)
+    with pytest.raises(ReproError):
+        ServiceCluster(ServiceSpec(), KVStore, n_servers=1,
+                       membership="crystal-ball")
+
+
+def test_cluster_accessors():
+    cluster = ServiceCluster(ServiceSpec(), KVStore, n_servers=2,
+                             n_clients=2, default_link=FAST)
+    assert cluster.server_pids == [1, 2]
+    assert cluster.client == cluster.client_pids[0]
+    assert cluster.group == Group("servers", [1, 2])
+    assert cluster.node(1).pid == 1
+    assert cluster.dispatcher(1).node is cluster.node(1)
+    assert cluster.app(1) is cluster.dispatcher(1).app
+    assert cluster.trace is cluster.fabric.trace
+
+
+def test_client_nodes_have_no_dispatcher():
+    cluster = ServiceCluster(ServiceSpec(), KVStore, n_servers=1,
+                             default_link=FAST)
+    assert cluster.client not in cluster.dispatchers
+    assert cluster.grpc(cluster.client).upper is None

@@ -1,0 +1,135 @@
+"""The compact point-to-point RPC: same semantics, no composition."""
+
+import pytest
+
+from repro import LinkSpec, Status
+from repro.apps import CounterApp, KVStore, ServerDispatcher
+from repro.core.p2p import P2PMsg, PointToPointRPC
+from repro.faults import drop_first
+from repro.net import NetworkFabric, Node, UnreliableTransport
+from repro.runtime import SimRuntime
+from repro.sim import RandomSource
+from repro.xkernel import TypeDemux, compose_stack
+
+
+def build_pair(*, link=None, seed=0, app_factory=KVStore,
+               timebound=0.0):
+    rt = SimRuntime()
+    fabric = NetworkFabric(rt, rand=RandomSource(seed),
+                           default_link=link or LinkSpec(delay=0.005,
+                                                         jitter=0.0))
+    sides = {}
+    for pid in (1, 101):
+        node = Node(pid, rt, fabric)
+        p2p = PointToPointRPC(node, retrans_timeout=0.05,
+                              timebound=timebound)
+        demux = TypeDemux(f"demux@{pid}")
+        compose_stack(demux, UnreliableTransport(node))
+        demux.attach(P2PMsg, p2p)
+        if pid == 1:
+            dispatcher = ServerDispatcher(node, app_factory())
+            compose_stack(dispatcher, p2p)
+            sides["dispatcher"] = dispatcher
+        node.start()
+        sides[pid] = p2p
+    return rt, fabric, sides
+
+
+def run_call(rt, fabric, sides, op, args, extra=0.3):
+    results = []
+
+    async def client():
+        results.append(await sides[101].call(op, args, 1))
+
+    task = fabric.node(101).spawn(client())
+
+    async def waiter():
+        await rt.join(task)
+
+    rt.run(waiter(), shutdown=False)
+    rt.run_for(extra)
+    return results[0]
+
+
+def test_basic_roundtrip():
+    rt, fabric, sides = build_pair()
+    result = run_call(rt, fabric, sides, "put", {"key": "k", "value": 7})
+    assert result.status is Status.OK
+    result = run_call(rt, fabric, sides, "get", {"key": "k"})
+    assert result.args == 7
+
+
+def test_exactly_once_under_loss():
+    rt, fabric, sides = build_pair(
+        link=LinkSpec(delay=0.005, jitter=0.002, loss=0.25,
+                      duplicate=0.1),
+        seed=5, app_factory=CounterApp)
+    for i in range(8):
+        result = run_call(rt, fabric, sides, "inc",
+                          {"amount": 1, "tag": i})
+        assert result.status is Status.OK
+    dispatcher = sides["dispatcher"]
+    for tag in range(8):
+        assert dispatcher.executions(tag) == 1
+    assert dispatcher.app.value == 8
+
+
+def test_reply_loss_replays_from_cache():
+    rt, fabric, sides = build_pair(app_factory=CounterApp)
+    fault = drop_first(fabric, 2,
+                       lambda env: isinstance(env.payload, P2PMsg)
+                       and env.payload.kind == "reply")
+    result = run_call(rt, fabric, sides, "inc", {"amount": 1, "tag": "t"},
+                      extra=0.5)
+    assert result.status is Status.OK
+    assert fault.dropped == 2
+    assert sides["dispatcher"].executions("t") == 1
+
+
+def test_reply_cache_drains_after_ack():
+    rt, fabric, sides = build_pair()
+    run_call(rt, fabric, sides, "put", {"key": "a", "value": 1},
+             extra=0.5)
+    assert sides[1]._old_results == {}
+
+
+def test_bounded_termination():
+    rt, fabric, sides = build_pair(timebound=0.5)
+    fabric.partition([101], [1])
+    result = run_call(rt, fabric, sides, "get", {"key": "k"}, extra=0.1)
+    assert result.status is Status.TIMEOUT
+    assert rt.now() >= 0.5
+
+
+def test_client_crash_clears_pending_and_recovery_restarts_ids():
+    rt, fabric, sides = build_pair()
+    run_call(rt, fabric, sides, "put", {"key": "a", "value": 1})
+    node = fabric.node(101)
+    node.crash()
+    node.recover()
+    rt.run_for(0.1)
+    # ids restart; the server keys by (client, incarnation, id) so the
+    # recycled id is a fresh call.
+    result = run_call(rt, fabric, sides, "put", {"key": "b", "value": 2})
+    assert result.id == 1
+    assert result.status is Status.OK
+
+
+def test_concurrent_calls_multiplex():
+    rt, fabric, sides = build_pair(
+        link=LinkSpec(delay=0.01, jitter=0.02))
+    results = {}
+
+    async def one(i):
+        results[i] = await sides[101].call("put",
+                                           {"key": f"k{i}", "value": i}, 1)
+
+    async def scenario():
+        tasks = [fabric.node(101).spawn(one(i)) for i in range(6)]
+        for t in tasks:
+            await rt.join(t)
+
+    rt.run(scenario(), shutdown=False)
+    rt.run_for(0.5)
+    assert all(results[i].status is Status.OK for i in range(6))
+    assert sorted(r.id for r in results.values()) == list(range(1, 7))

@@ -1,0 +1,76 @@
+"""The property taxonomy module (Figures 1 and 2 as data)."""
+
+from repro.core.properties import (
+    CATEGORIES,
+    FAILURE_SEMANTICS_MATRIX,
+    PROPERTY_DEPENDENCIES,
+    failure_semantics_name,
+    figure1_rows,
+    figure2_edges,
+)
+
+
+def test_categories_cover_the_papers_taxonomy():
+    names = {c.name for c in CATEGORIES}
+    assert names == {"failure", "call", "orphan handling",
+                     "communication", "termination", "ordering",
+                     "collation", "acceptance", "membership"}
+
+
+def test_group_only_categories_match_section_2_2():
+    group_only = {c.name for c in CATEGORIES if c.group_only}
+    # "group RPC also includes the following": ordering, collation,
+    # acceptance, membership.
+    assert group_only == {"ordering", "collation", "acceptance",
+                          "membership"}
+
+
+def test_every_category_has_at_least_two_variants():
+    for category in CATEGORIES:
+        assert len(category.variants) >= 2, category.name
+        assert category.description
+
+
+def test_figure1_matrix_contents():
+    assert FAILURE_SEMANTICS_MATRIX["at least once"] == \
+        {"unique": False, "atomic": False}
+    assert FAILURE_SEMANTICS_MATRIX["exactly once"] == \
+        {"unique": True, "atomic": False}
+    assert FAILURE_SEMANTICS_MATRIX["at most once"] == \
+        {"unique": True, "atomic": True}
+
+
+def test_failure_semantics_name_all_combinations():
+    assert failure_semantics_name(False, False) == "at least once"
+    assert failure_semantics_name(True, False) == "exactly once"
+    assert failure_semantics_name(True, True) == "at most once"
+    # The fourth combination has no traditional name.
+    assert "unnamed" in failure_semantics_name(False, True)
+
+
+def test_figure1_rows_shape():
+    rows = figure1_rows()
+    assert len(rows) == 3
+    assert all(len(row) == 3 for row in rows)
+    assert all(cell in ("YES", "NO") for _, u, a in rows
+               for cell in (u, a))
+
+
+def test_figure2_edges_include_the_papers_example():
+    edges = figure2_edges()
+    # "to implement FIFO or total ordering ... the reliability property
+    # must hold" — the paper's worked example of a dependency edge.
+    assert ("FIFO order", "reliable communication") in edges
+    assert ("total order", "reliable communication") in edges
+    # Returned list is a copy: mutating it cannot corrupt the registry.
+    edges.append(("bogus", "edge"))
+    assert ("bogus", "edge") not in figure2_edges()
+    assert figure2_edges() == PROPERTY_DEPENDENCIES
+
+
+def test_edge_endpoints_reference_known_variants():
+    known_variants = {variant for c in CATEGORIES for variant in c.variants}
+    known_variants |= {"all (acceptance)", "dynamic membership"}
+    for dependent, prerequisite in figure2_edges():
+        assert dependent in known_variants, dependent
+        assert prerequisite in known_variants, prerequisite

@@ -1,0 +1,64 @@
+"""Multi-seed replication helpers."""
+
+import pytest
+
+from repro import LinkSpec, ServiceCluster
+from repro.apps import KVStore
+from repro.bench import (
+    ClosedLoopWorkload,
+    read_only_workload,
+    replicate,
+    significantly_different,
+)
+from repro.core.config import read_optimized
+
+
+def test_replicate_aggregates():
+    rep = replicate(lambda seed: float(seed), seeds=[1, 2, 3, 4, 5])
+    assert rep.mean == 3.0
+    assert rep.samples == (1.0, 2.0, 3.0, 4.0, 5.0)
+    assert rep.stdev == pytest.approx(1.5811, abs=1e-3)
+    assert rep.low < 3.0 < rep.high
+    assert "n=5" in str(rep)
+
+
+def test_replicate_single_seed_has_zero_interval():
+    rep = replicate(lambda seed: 7.0, seeds=[0])
+    assert rep.mean == 7.0
+    assert rep.ci95 == 0.0
+
+
+def test_replicate_requires_seeds():
+    with pytest.raises(ValueError):
+        replicate(lambda seed: 0.0, seeds=[])
+
+
+def test_significance_check():
+    tight_low = replicate(lambda s: 1.0 + s * 0.001, seeds=range(5))
+    tight_high = replicate(lambda s: 2.0 + s * 0.001, seeds=range(5))
+    wide = replicate(lambda s: 0.2 + s * 0.5, seeds=range(5))
+    assert significantly_different(tight_low, tight_high)
+    assert not significantly_different(tight_low, wide)
+    assert not significantly_different(tight_low, tight_low)
+
+
+def test_replicated_latency_comparison_end_to_end():
+    """The Section-5 claim, now with error bars: acceptance=1 beats
+    acceptance=ALL significantly across seeds."""
+    def mean_latency(acceptance):
+        def measure(seed):
+            spec = read_optimized(timebound=5.0, acceptance=acceptance)
+            cluster = ServiceCluster(
+                spec, KVStore, n_servers=3, seed=seed,
+                default_link=LinkSpec(delay=0.01, jitter=0.01))
+            cluster.make_slow(3, 0.2)
+            workload = ClosedLoopWorkload(
+                lambda i: read_only_workload(seed=i),
+                calls_per_client=10)
+            return workload.run(cluster).latency_stats().mean
+        return measure
+
+    fast = replicate(mean_latency(1), seeds=range(5))
+    slow = replicate(mean_latency(3), seeds=range(5))
+    assert significantly_different(fast, slow)
+    assert fast.mean < slow.mean

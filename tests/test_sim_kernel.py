@@ -1,0 +1,282 @@
+"""Unit tests for the simulation kernel: scheduling, time, cancellation."""
+
+import pytest
+
+from repro.errors import KernelError, TaskCancelled
+from repro.sim import (
+    Kernel,
+    checkpoint_yield,
+    current_kernel,
+    current_task,
+    sleep,
+    spawn,
+)
+
+
+def test_run_returns_main_result():
+    async def main():
+        return 42
+
+    assert Kernel().run(main()) == 42
+
+
+def test_run_propagates_main_exception():
+    async def main():
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError, match="boom"):
+        Kernel().run(main())
+
+
+def test_virtual_time_advances_on_sleep():
+    kernel = Kernel()
+
+    async def main():
+        assert kernel.now == 0.0
+        await sleep(2.5)
+        assert kernel.now == 2.5
+        await sleep(0.5)
+        return kernel.now
+
+    assert kernel.run(main()) == 3.0
+
+
+def test_sleep_zero_yields_but_keeps_time():
+    kernel = Kernel()
+    order = []
+
+    async def child():
+        order.append("child")
+
+    async def main():
+        await spawn(child())
+        await sleep(0)
+        order.append("main")
+
+    kernel.run(main())
+    assert order == ["child", "main"]
+    assert kernel.now == 0.0
+
+
+def test_spawn_runs_concurrently_in_fifo_order():
+    kernel = Kernel()
+    order = []
+
+    async def worker(tag, delay):
+        await sleep(delay)
+        order.append(tag)
+
+    async def main():
+        t1 = await spawn(worker("a", 2.0))
+        t2 = await spawn(worker("b", 1.0))
+        await t1.join()
+        await t2.join()
+
+    kernel.run(main())
+    assert order == ["b", "a"]
+
+
+def test_join_returns_result_and_reraises():
+    async def ok():
+        return "fine"
+
+    async def bad():
+        raise RuntimeError("nope")
+
+    async def main():
+        t_ok = await spawn(ok())
+        assert await t_ok.join() == "fine"
+        t_bad = await spawn(bad())
+        with pytest.raises(RuntimeError, match="nope"):
+            await t_bad.join()
+
+    Kernel().run(main())
+
+
+def test_join_finished_task_returns_immediately():
+    async def quick():
+        return 7
+
+    async def main():
+        task = await spawn(quick())
+        await sleep(1)
+        assert task.done
+        assert await task.join() == 7
+
+    Kernel().run(main())
+
+
+def test_cancel_sleeping_task():
+    kernel = Kernel()
+    witness = []
+
+    async def sleeper():
+        try:
+            await sleep(100)
+            witness.append("finished")
+        except TaskCancelled:
+            witness.append("cancelled")
+            raise
+
+    async def main():
+        task = await spawn(sleeper())
+        await sleep(1)
+        assert task.cancel()
+        with pytest.raises(TaskCancelled):
+            await task.join()
+
+    kernel.run(main())
+    assert witness == ["cancelled"]
+    assert kernel.now == 1.0  # did not wait out the 100s sleep
+
+
+def test_cancel_finished_task_returns_false():
+    async def quick():
+        return 1
+
+    async def main():
+        task = await spawn(quick())
+        await sleep(0)
+        assert task.cancel() is False
+
+    Kernel().run(main())
+
+
+def test_self_cancel_is_rejected():
+    async def main():
+        me = await current_task()
+        with pytest.raises(KernelError):
+            me.cancel()
+
+    Kernel().run(main())
+
+
+def test_unjoined_failure_surfaces_in_strict_mode():
+    async def bad():
+        raise RuntimeError("lost")
+
+    async def main():
+        await spawn(bad())
+        await sleep(1)
+
+    with pytest.raises(KernelError, match="lost"):
+        Kernel().run(bad_main := main())
+
+
+def test_daemon_tasks_cancelled_at_shutdown():
+    kernel = Kernel()
+    beats = []
+
+    async def heartbeat():
+        while True:
+            beats.append(kernel.now)
+            await sleep(1.0)
+
+    async def main():
+        await spawn(heartbeat(), daemon=True)
+        await sleep(3.5)
+
+    kernel.run(main())
+    assert beats == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_call_later_fires_in_order():
+    kernel = Kernel()
+    fired = []
+    kernel.call_later(2.0, lambda: fired.append("b"))
+    kernel.call_later(1.0, lambda: fired.append("a"))
+    kernel.call_later(2.0, lambda: fired.append("c"))  # same time: FIFO
+    kernel.run_until_idle()
+    assert fired == ["a", "b", "c"]
+    assert kernel.now == 2.0
+
+
+def test_call_later_cancel():
+    kernel = Kernel()
+    fired = []
+    timer = kernel.call_later(1.0, lambda: fired.append("x"))
+    timer.cancel()
+    kernel.run_until_idle()
+    assert fired == []
+
+
+def test_run_until_advances_clock_even_when_idle():
+    kernel = Kernel()
+    kernel.run_until(5.0)
+    assert kernel.now == 5.0
+    kernel.run_for(2.0)
+    assert kernel.now == 7.0
+
+
+def test_run_until_does_not_fire_later_timers():
+    kernel = Kernel()
+    fired = []
+    kernel.call_later(10.0, lambda: fired.append("late"))
+    kernel.run_until(5.0)
+    assert fired == []
+    kernel.run_until(15.0)
+    assert fired == ["late"]
+
+
+def test_current_kernel_inside_and_outside():
+    from repro.errors import NoCurrentTask
+
+    with pytest.raises(NoCurrentTask):
+        current_kernel()
+
+    kernel = Kernel()
+
+    async def main():
+        assert current_kernel() is kernel
+
+    kernel.run(main())
+
+
+def test_checkpoint_yield_interleaves_equal_tasks():
+    kernel = Kernel()
+    order = []
+
+    async def worker(tag):
+        for i in range(3):
+            order.append((tag, i))
+            await checkpoint_yield()
+
+    async def main():
+        t1 = await spawn(worker("a"))
+        t2 = await spawn(worker("b"))
+        await t1.join()
+        await t2.join()
+
+    kernel.run(main())
+    assert order == [("a", 0), ("b", 0), ("a", 1), ("b", 1),
+                     ("a", 2), ("b", 2)]
+
+
+def test_nested_run_is_rejected():
+    kernel = Kernel()
+
+    async def main():
+        with pytest.raises(KernelError):
+            kernel.run_until_idle()
+
+    kernel.run(main())
+
+
+def test_determinism_same_program_same_schedule():
+    def run_once():
+        kernel = Kernel()
+        trace = []
+
+        async def worker(tag, delay):
+            await sleep(delay)
+            trace.append((tag, kernel.now))
+
+        async def main():
+            for i in range(10):
+                await spawn(worker(i, (i * 7) % 5 + 0.5))
+            await sleep(10)
+
+        kernel.run(main())
+        return trace
+
+    assert run_once() == run_once()

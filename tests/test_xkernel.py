@@ -1,0 +1,108 @@
+"""Unit tests for the x-kernel UPI shell and type demux."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import SimRuntime
+from repro.xkernel import Protocol, TypeDemux, compose_stack
+
+
+class Recorder(Protocol):
+    def __init__(self, name):
+        super().__init__(name)
+        self.pushed = []
+        self.popped = []
+
+    async def push(self, *args, **kwargs):
+        self.pushed.append((args, kwargs))
+        if self.lower is not None:
+            return await self.lower.push(*args, **kwargs)
+
+    async def pop(self, *args, **kwargs):
+        self.popped.append((args, kwargs))
+        if self.upper is not None:
+            return await self.upper.pop(*args, **kwargs)
+
+
+def run(coro):
+    SimRuntime().run(coro)
+
+
+def test_compose_stack_links_up_and_down():
+    top, mid, bottom = Recorder("top"), Recorder("mid"), Recorder("bot")
+    compose_stack(top, mid, bottom)
+    assert top.lower is mid and mid.lower is bottom
+    assert bottom.upper is mid and mid.upper is top
+
+    async def main():
+        await top.push("down")
+        await bottom.pop("up")
+
+    run(main())
+    assert mid.pushed == [(("down",), {})]
+    assert bottom.pushed == [(("down",), {})]
+    assert mid.popped == [(("up",), {})]
+    assert top.popped == [(("up",), {})]
+
+
+def test_compose_stack_requires_protocols():
+    with pytest.raises(ReproError):
+        compose_stack()
+
+
+def test_push_without_lower_raises():
+    lonely = Protocol("lonely")
+
+    async def main():
+        with pytest.raises(ReproError):
+            await lonely.push("x")
+        with pytest.raises(ReproError):
+            await lonely.pop("x")
+
+    run(main())
+
+
+def test_type_demux_routes_by_payload_type():
+    class A:
+        pass
+
+    class B:
+        pass
+
+    demux = TypeDemux()
+    upper_a, upper_b = Recorder("a"), Recorder("b")
+    bottom = Recorder("bot")
+    compose_stack(demux, bottom)
+    demux.attach(A, upper_a)
+    demux.attach(B, upper_b)
+
+    async def main():
+        await demux.pop(A(), sender=1)
+        await demux.pop(B(), sender=2)
+        await demux.pop("unclaimed", sender=3)   # dropped silently
+        # pushes from either upper reach the shared bottom
+        await upper_a.push("via-a")
+        await upper_b.push("via-b")
+
+    run(main())
+    assert len(upper_a.popped) == 1
+    assert len(upper_b.popped) == 1
+    assert [args[0][0] for args in bottom.pushed] == ["via-a", "via-b"]
+
+
+def test_type_demux_matches_subclasses():
+    class Base:
+        pass
+
+    class Derived(Base):
+        pass
+
+    demux = TypeDemux()
+    upper = Recorder("u")
+    demux.attach(Base, upper)
+
+    async def main():
+        await demux.pop(Derived())
+
+    run(main())
+    assert len(upper.popped) == 1
