@@ -59,11 +59,16 @@ def run_rung(label, spec):
     result = workload.run(cluster, settle_time=0.5)
     wall = time.perf_counter() - wall_start
     stats = result.latency_stats().scaled(1000.0)
+    # Message cost straight from the metrics registry (the workload's
+    # messages_per_call reads the same counter; asserting they agree
+    # keeps the two reporting paths honest).
+    sends = cluster.metrics.value("net.send")
+    assert sends / result.calls == result.messages_per_call
     return {"label": label,
             "micros": len(spec.build()),
             "mean_ms": stats.mean,
             "p95_ms": stats.p95,
-            "msgs_per_call": result.messages_per_call,
+            "msgs_per_call": sends / result.calls,
             "cpu_us_per_call": wall / result.calls * 1e6,
             "ok": result.ok_ratio}
 

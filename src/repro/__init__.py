@@ -30,6 +30,7 @@ from repro.core import (
 )
 from repro.core.grpc import PendingCall, gather_calls
 from repro.net import Group, LinkSpec
+from repro.obs import MetricsRegistry, Recorder
 from repro.runtime import AsyncioRuntime, SimRuntime
 
 __version__ = "1.0.0"
@@ -46,6 +47,8 @@ __all__ = [
     "AsyncioRuntime",
     "PendingCall",
     "gather_calls",
+    "Recorder",
+    "MetricsRegistry",
     "at_least_once",
     "exactly_once",
     "at_most_once",

@@ -6,7 +6,10 @@ Commands
 ``info``        library version, micro-protocol catalog, presets
 ``enumerate``   Figure-4 service counts (the paper's 198)
 ``demo``        run a quick replicated-KV demo on the simulator
-``trace``       run one observed call and print its protocol timeline
+``trace``       run one observed call and print its protocol timeline,
+                or — given a configuration preset — run a traced
+                workload and dump the span tree as JSONL (``--flame``
+                for the human-readable tree)
 """
 
 from __future__ import annotations
@@ -24,8 +27,22 @@ from repro.core.config import (
     EXECUTION_CHOICES,
     ORDERING_CHOICES,
     ORPHAN_CHOICES,
+    at_least_once,
+    at_most_once,
+    exactly_once,
+    replicated_state_machine,
 )
 from repro.core.enumerate import enumerate_services
+
+#: Presets the trace subcommand can run (name -> spec factory taking the
+#: server count, which only the replicated-state-machine preset uses).
+TRACE_CONFIGS = {
+    "read-optimized": lambda n: read_optimized(),
+    "at-least-once": lambda n: at_least_once(),
+    "exactly-once": lambda n: exactly_once(),
+    "at-most-once": lambda n: at_most_once(),
+    "replicated-state-machine": lambda n: replicated_state_machine(n),
+}
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -77,6 +94,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.config is not None:
+        return _trace_config(args)
+    # Legacy mode: one observed call, protocol-timeline output.
     # Total Order forbids Bounded Termination (Figure 4).
     bounded = 0.0 if args.ordering == "total" else 5.0
     spec = ServiceSpec(acceptance=3, bounded=bounded, unique=True,
@@ -95,6 +115,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_config(args: argparse.Namespace) -> int:
+    """Run a traced workload under a preset and dump the span tree."""
+    spec = TRACE_CONFIGS[args.config](args.servers)
+    cluster = ServiceCluster(spec, KVStore, n_servers=args.servers,
+                             default_link=LinkSpec(delay=0.01,
+                                                   jitter=0.005),
+                             obs=True)
+    for i in range(args.calls):
+        result = cluster.call_and_run("put",
+                                      {"key": f"k{i}", "value": i},
+                                      extra_time=0.2)
+        if not result.ok:
+            print(f"call {i} ended {result.status.value}",
+                  file=sys.stderr)
+    if args.flame:
+        print(cluster.format_flame())
+    else:
+        cluster.export_trace(sys.stdout)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -109,9 +150,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     demo.add_argument("--servers", type=int, default=3)
     demo.add_argument("--calls", type=int, default=3)
 
-    trace = sub.add_parser("trace", help="trace one call's timeline")
+    trace = sub.add_parser(
+        "trace",
+        help="trace one call's timeline, or dump a configuration's "
+             "span-tree trace as JSONL")
+    trace.add_argument("config", nargs="?", default=None,
+                       choices=sorted(TRACE_CONFIGS),
+                       help="preset to run with the obs layer on; "
+                            "omit for the legacy single-call timeline")
     trace.add_argument("--ordering", default="none",
                        choices=["none", "fifo", "total", "causal"])
+    trace.add_argument("--servers", type=int, default=3)
+    trace.add_argument("--calls", type=int, default=2)
+    trace.add_argument("--flame", action="store_true",
+                       help="print the human-readable span tree instead "
+                            "of JSONL")
 
     args = parser.parse_args(argv)
     handlers = {"info": cmd_info, "enumerate": cmd_enumerate,

@@ -10,6 +10,7 @@ from repro.analysis.checkers import (
     check_subsequence,
     check_total_order_cluster,
 )
+from repro.analysis.obslint import check_obs_registration
 
 __all__ = [
     "CheckResult",
@@ -20,4 +21,5 @@ __all__ = [
     "check_execution_counts",
     "check_total_order_cluster",
     "check_exactly_once_cluster",
+    "check_obs_registration",
 ]

@@ -108,7 +108,7 @@ class ClosedLoopWorkload:
             settle_time: float = 1.0) -> WorkloadResult:
         """Drive the cluster to completion and collect measurements."""
         result = WorkloadResult()
-        sends_before = cluster.trace.counts["send"]
+        sends_before = cluster.metrics.value("net.send")
         result.started_at = cluster.runtime.now()
 
         async def client_loop(index: int, pid: int) -> None:
@@ -137,7 +137,8 @@ class ClosedLoopWorkload:
         result.finished_at = cluster.runtime.now()
         if settle_time:
             cluster.settle(settle_time)
-        result.messages_sent = cluster.trace.counts["send"] - sends_before
+        result.messages_sent = int(
+            cluster.metrics.value("net.send") - sends_before)
         return result
 
 
@@ -165,7 +166,7 @@ class OpenLoopWorkload:
         rng = random.Random(self.seed)
         ops = self.make_ops(0)
         result = WorkloadResult()
-        sends_before = cluster.trace.counts["send"]
+        sends_before = cluster.metrics.value("net.send")
         result.started_at = cluster.runtime.now()
         issued = {"count": 0}
         pid = cluster.client_pids[0]
@@ -190,7 +191,8 @@ class OpenLoopWorkload:
         cluster.run_scenario(arrival_process())
         cluster.settle(drain_time)
         result.finished_at = cluster.runtime.now()
-        result.messages_sent = cluster.trace.counts["send"] - sends_before
+        result.messages_sent = int(
+            cluster.metrics.value("net.send") - sends_before)
         #: Arrivals that never completed within the drain window.
         result.incomplete = issued["count"] - result.calls
         return result

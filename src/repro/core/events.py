@@ -57,18 +57,27 @@ LOWEST_PRIORITY = 1_000_000
 Handler = Callable[..., Awaitable[None]]
 
 
+def _handler_name(handler: Handler) -> str:
+    """Qualified name for trace records (stable across bound methods)."""
+    return getattr(handler, "__qualname__", repr(handler))
+
+
 class Registration:
     """One (event, handler, priority) registration record."""
 
-    __slots__ = ("event", "handler", "priority", "seq", "timer")
+    __slots__ = ("event", "handler", "priority", "seq", "timer", "owner")
 
     def __init__(self, event: str, handler: Handler, priority: float,
-                 seq: int):
+                 seq: int, owner: str = ""):
         self.event = event
         self.handler = handler
         self.priority = priority
         self.seq = seq
         self.timer: Any = None  # only for TIMEOUT registrations
+        #: Name of the micro-protocol that registered the handler
+        #: ("" for framework/application registrations); the obs layer
+        #: attributes dispatch records and handler timings to it.
+        self.owner = owner
 
     def sort_key(self) -> Tuple[float, int]:
         return (self.priority, self.seq)
@@ -99,34 +108,55 @@ class EventBus:
         # so cancel_event() from interleaved tasks cannot cross wires.
         self._active: Dict[int, List[_Dispatch]] = {}
         self._timeout_regs: List[Registration] = []
+        # Observability: the recorder is resolved ONCE here (attach-time
+        # check; see Runtime.attach_obs).  ``None`` keeps every dispatch
+        # on the untraced fast path.
+        self._obs = getattr(runtime, "obs", None)
+        #: Process id of the owning node, for trace attribution;
+        #: composites bound to a node set this (-1 = unowned bus).
+        self.node_id = -1
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
 
     def register(self, event: str, handler: Handler,
-                 priority: Optional[float] = None) -> Registration:
+                 priority: Optional[float] = None, *,
+                 owner: str = "") -> Registration:
         """Register ``handler`` for ``event``.
 
         For ordinary events ``priority`` orders handlers (lower runs
         earlier; ``None`` means lowest).  For :data:`TIMEOUT`, ``priority``
         is the timeout interval in seconds and the handler will run exactly
         once, ``interval`` from now, unless deregistered first.
+        ``owner`` names the registering micro-protocol for trace
+        attribution (filled in by :meth:`MicroProtocol.register`).
         """
         self._seq += 1
         if event == TIMEOUT:
             if priority is None:
                 raise KernelError("TIMEOUT registration requires an interval")
-            reg = Registration(event, handler, float(priority), self._seq)
+            reg = Registration(event, handler, float(priority), self._seq,
+                               owner)
             reg.timer = self.runtime.call_later(
                 float(priority), lambda: self._fire_timeout(reg))
             self._timeout_regs.append(reg)
+            if self._obs is not None:
+                self._obs.record_event(
+                    "register", node=self.node_id, event=TIMEOUT,
+                    owner=owner, handler=_handler_name(handler),
+                    interval=float(priority))
             return reg
         if priority is None:
             priority = LOWEST_PRIORITY
-        reg = Registration(event, handler, float(priority), self._seq)
+        reg = Registration(event, handler, float(priority), self._seq,
+                           owner)
         self._handlers.setdefault(event, []).append(reg)
         self._handlers[event].sort(key=Registration.sort_key)
+        if self._obs is not None:
+            self._obs.record_event(
+                "register", node=self.node_id, event=event, owner=owner,
+                handler=_handler_name(handler), priority=float(priority))
         return reg
 
     def deregister(self, event: str, handler: Handler) -> bool:
@@ -140,14 +170,22 @@ class EventBus:
                 if reg.handler == handler:
                     reg.timer.cancel()
                     self._timeout_regs.remove(reg)
+                    self._record_deregister(reg)
                     return True
             return False
         regs = self._handlers.get(event, [])
         for reg in regs:
             if reg.handler == handler:
                 regs.remove(reg)
+                self._record_deregister(reg)
                 return True
         return False
+
+    def _record_deregister(self, reg: Registration) -> None:
+        if self._obs is not None:
+            self._obs.record_event(
+                "deregister", node=self.node_id, event=reg.event,
+                owner=reg.owner, handler=_handler_name(reg.handler))
 
     def registrations(self, event: str) -> List[Registration]:
         """The current registrations for ``event`` in dispatch order."""
@@ -173,6 +211,8 @@ class EventBus:
         time, so registrations made by handlers take effect from the next
         occurrence of the event.
         """
+        if self._obs is not None:
+            return await self._trigger_traced(event, *args)
         snapshot = list(self._handlers.get(event, []))
         if not snapshot:
             return True
@@ -185,6 +225,32 @@ class EventBus:
                 if dispatch.cancelled:
                     break
                 await reg.handler(*args)
+        finally:
+            self._pop_dispatch(task_key, stack, dispatch)
+        return not dispatch.cancelled
+
+    async def _trigger_traced(self, event: str, *args: Any) -> bool:
+        """The traced twin of :meth:`trigger`: identical semantics, plus
+        one structured record (with virtual-time duration, owner and
+        priority) per handler invocation."""
+        obs = self._obs
+        snapshot = list(self._handlers.get(event, []))
+        if not snapshot:
+            return True
+        dispatch = _Dispatch(event)
+        task_key = id(self.runtime.current_handle_nowait())
+        stack = self._active.setdefault(task_key, [])
+        stack.append(dispatch)
+        try:
+            for reg in snapshot:
+                if dispatch.cancelled:
+                    break
+                start = self.runtime.now()
+                await reg.handler(*args)
+                obs.record_handler(
+                    event, reg.owner, _handler_name(reg.handler),
+                    reg.priority, start, self.runtime.now(),
+                    node=self.node_id, cancelled=dispatch.cancelled)
         finally:
             self._pop_dispatch(task_key, stack, dispatch)
         return not dispatch.cancelled
@@ -242,10 +308,16 @@ class EventBus:
         task_key = id(self.runtime.current_handle_nowait())
         stack = self._active.setdefault(task_key, [])
         stack.append(dispatch)
+        start = self.runtime.now() if self._obs is not None else 0.0
         try:
             await reg.handler(*args)
         finally:
             self._pop_dispatch(task_key, stack, dispatch)
+            if self._obs is not None:
+                self._obs.record_handler(
+                    event, reg.owner, _handler_name(reg.handler),
+                    reg.priority, start, self.runtime.now(),
+                    node=self.node_id, cancelled=dispatch.cancelled)
 
     def cancel_event(self) -> None:
         """Cancel the event currently dispatching in the calling task.
@@ -260,6 +332,9 @@ class EventBus:
         if not stack:
             raise KernelError("cancel_event() outside of event dispatch")
         stack[-1].cancelled = True
+        if self._obs is not None:
+            self._obs.record_event("cancel_event", node=self.node_id,
+                                   event=stack[-1].event)
 
     def in_dispatch(self) -> Optional[str]:
         """Name of the event the calling task is dispatching, if any."""
@@ -284,10 +359,16 @@ class EventBus:
         task_key = id(self.runtime.current_handle_nowait())
         stack = self._active.setdefault(task_key, [])
         stack.append(dispatch)
+        start = self.runtime.now() if self._obs is not None else 0.0
         try:
             await reg.handler()
         finally:
             self._pop_dispatch(task_key, stack, dispatch)
+            if self._obs is not None:
+                self._obs.record_handler(
+                    TIMEOUT, reg.owner, _handler_name(reg.handler),
+                    reg.priority, start, self.runtime.now(),
+                    node=self.node_id, cancelled=dispatch.cancelled)
 
     def pending_timeouts(self) -> int:
         """Number of armed TIMEOUT registrations (test/debug aid)."""

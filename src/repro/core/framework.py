@@ -83,7 +83,9 @@ class MicroProtocol:
 
     def register(self, event: str, handler: Handler,
                  priority: Optional[float] = None) -> Registration:
-        return self.bus.register(event, handler, priority)
+        # The owner tag attributes dispatch records (and per-handler
+        # virtual-time costs) to this micro-protocol in the obs layer.
+        return self.bus.register(event, handler, priority, owner=self.name)
 
     def deregister(self, event: str, handler: Handler) -> bool:
         return self.bus.deregister(event, handler)
@@ -113,6 +115,9 @@ class CompositeProtocol(Protocol):
         self.runtime = runtime
         self.bus = EventBus(runtime, spawner)
         self.micro_protocols: List[MicroProtocol] = []
+        # Resolved once at construction (attach-time check; ``None``
+        # means tracing is disabled and no span code runs).
+        self.obs = getattr(runtime, "obs", None)
 
     def add(self, *micros: MicroProtocol) -> "CompositeProtocol":
         """Link micro-protocols into this composite (order preserved).
@@ -123,6 +128,10 @@ class CompositeProtocol(Protocol):
         for micro in micros:
             self.micro_protocols.append(micro)
             micro.attach(self)
+            if self.obs is not None:
+                self.obs.record_event("micro.attach", node=self.bus.node_id,
+                                      micro=micro.name,
+                                      composite=self.name)
         return self
 
     def micro(self, name: str) -> MicroProtocol:

@@ -51,6 +51,7 @@ from repro.core.messages import (
 )
 from repro.core.state import ClientTable, HoldRegistry, ServerTable
 from repro.errors import ConfigurationError, NodeDown
+from repro.obs.recorder import CTX_KEY as OBS_CTX
 from repro.net.message import Group, ProcessId
 from repro.net.node import Node
 
@@ -115,6 +116,9 @@ class GroupRPC(CompositeProtocol):
         #: (FIFO Order, Total Order) call it to release gated calls.
         self.forward_up: Optional[Callable[..., Coroutine]] = None
 
+        #: Trace attribution: the bus's dispatch records carry this pid.
+        self.bus.node_id = node.pid
+
         node.crash_listeners.append(self._on_crash)
         node.recover_listeners.append(self._on_recover)
 
@@ -130,7 +134,22 @@ class GroupRPC(CompositeProtocol):
         Asynchronous Call it returns a WAITING result immediately.
         """
         umsg = UserMsg(type=UserOp.CALL, op=op, args=args, server=server)
-        await self.bus.trigger(CALL_FROM_USER, umsg)
+        obs = self.obs
+        if obs is None:
+            await self.bus.trigger(CALL_FROM_USER, umsg)
+        else:
+            # Root of this call's span tree; the context is propagated
+            # into the wire messages by RPC Main (via the client record's
+            # annotations) so every downstream span reconnects here.
+            span = obs.start_span("rpc.call", node=self.my_id,
+                                  attrs={"op": op})
+            obs.push_ctx(span.ctx)
+            try:
+                await self.bus.trigger(CALL_FROM_USER, umsg)
+            finally:
+                obs.pop_ctx()
+                obs.end_span(span, call_id=umsg.id,
+                             status=umsg.status.value)
         return CallResult(id=umsg.id, status=umsg.status, args=umsg.args)
 
     async def request(self, call_id: int) -> CallResult:
@@ -144,7 +163,18 @@ class GroupRPC(CompositeProtocol):
             raise ConfigurationError(
                 "request() needs the Asynchronous_Call micro-protocol")
         umsg = UserMsg(type=UserOp.REQUEST, id=call_id)
-        await self.bus.trigger(CALL_FROM_USER, umsg)
+        obs = self.obs
+        if obs is None:
+            await self.bus.trigger(CALL_FROM_USER, umsg)
+        else:
+            span = obs.start_span("rpc.request", node=self.my_id,
+                                  attrs={"call_id": call_id})
+            obs.push_ctx(span.ctx)
+            try:
+                await self.bus.trigger(CALL_FROM_USER, umsg)
+            finally:
+                obs.pop_ctx()
+                obs.end_span(span, status=umsg.status.value)
         return CallResult(id=umsg.id, status=umsg.status, args=umsg.args)
 
     async def begin(self, op: str, args: Any,
@@ -176,7 +206,26 @@ class GroupRPC(CompositeProtocol):
         """
         if not isinstance(payload, NetMsg):
             return
-        await self.bus.trigger(MSG_FROM_NETWORK, payload)
+        obs = self.obs
+        if obs is None:
+            await self.bus.trigger(MSG_FROM_NETWORK, payload)
+            return
+        ctx = payload.annotation(OBS_CTX)
+        if ctx is None:
+            # A message outside any trace (e.g. a bare ACK): dispatch
+            # untraced rather than minting a disconnected trace.
+            await self.bus.trigger(MSG_FROM_NETWORK, payload)
+            return
+        span = obs.start_span(f"msg.{payload.type.value}", node=self.my_id,
+                              parent=(int(ctx[0]), int(ctx[1])),
+                              attrs={"sender": payload.sender,
+                                     "call_id": payload.id})
+        obs.push_ctx(span.ctx)
+        try:
+            await self.bus.trigger(MSG_FROM_NETWORK, payload)
+        finally:
+            obs.pop_ctx()
+            obs.end_span(span)
 
     async def net_push(self, dest: Any, msg: NetMsg) -> None:
         """Send ``msg`` toward ``dest`` via the unreliable transport.

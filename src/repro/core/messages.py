@@ -97,7 +97,9 @@ class NetMsg:
     #: together with ``inc`` and ``id`` it reconstructs the CallKey.
     client: ProcessId = -1
     #: Extension point: per-call data piggybacked by micro-protocols
-    #: (e.g. Causal Order's dependency set).  Populated from the client
+    #: (e.g. Causal Order's dependency set) and by the observability
+    #: layer, whose span context rides under
+    #: :data:`repro.obs.recorder.CTX_KEY`.  Populated from the client
     #: record's annotations on every transmission of the call.
     annotations: Optional[dict] = None
 
@@ -105,6 +107,11 @@ class NetMsg:
         if self.annotations is None:
             return default
         return self.annotations.get(key, default)
+
+    def trace_ctx(self) -> Optional[Tuple[int, int]]:
+        """The ``(trace, span)`` context this message carries, if any."""
+        ctx = self.annotation("obs.ctx")
+        return (int(ctx[0]), int(ctx[1])) if ctx is not None else None
 
     @property
     def call_key(self) -> CallKey:

@@ -22,6 +22,7 @@ from repro.core.grpc import MEMBERSHIP_CHANGE, MSG_FROM_NETWORK, NEW_RPC_CALL
 from repro.core.messages import MemChange, NetMsg, NetOp, Status
 from repro.core.microprotocols.base import GRPCMicroProtocol, Prio
 from repro.net.message import ProcessId
+from repro.obs import register_protocol
 
 __all__ = ["Acceptance", "ALL"]
 
@@ -90,3 +91,6 @@ class Acceptance(GRPCMicroProtocol):
                     # replies were collected.
                     record.status = Status.OK
                     record.sem.release()
+
+
+register_protocol(Acceptance.protocol_name)

@@ -13,6 +13,7 @@ from repro.core.grpc import CALL_FROM_USER
 from repro.core.messages import UserMsg, UserOp
 from repro.core.microprotocols.base import GRPCMicroProtocol
 from repro.errors import UnknownCallError
+from repro.obs import register_protocol
 
 __all__ = ["AsynchronousCall"]
 
@@ -40,3 +41,6 @@ class AsynchronousCall(GRPCMicroProtocol):
         await grpc.pRPC_mutex.acquire()
         grpc.pRPC.remove(umsg.id)
         grpc.pRPC_mutex.release()
+
+
+register_protocol(AsynchronousCall.protocol_name)

@@ -18,6 +18,7 @@ from repro.core.events import TIMEOUT
 from repro.core.grpc import NEW_RPC_CALL
 from repro.core.messages import Status
 from repro.core.microprotocols.base import GRPCMicroProtocol
+from repro.obs import register_protocol
 
 __all__ = ["BoundedTermination"]
 
@@ -49,3 +50,6 @@ class BoundedTermination(GRPCMicroProtocol):
                 grpc.pRPC_mutex.release()
 
         self.register(TIMEOUT, handle_timeout, self.timebound)
+
+
+register_protocol(BoundedTermination.protocol_name)

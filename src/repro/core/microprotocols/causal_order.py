@@ -38,6 +38,7 @@ from repro.core.grpc import (
 from repro.core.messages import CallKey, NetMsg, NetOp
 from repro.core.microprotocols.base import GRPCMicroProtocol
 from repro.net.message import ProcessId
+from repro.obs import register_protocol
 
 __all__ = ["CausalOrder", "CausalToken"]
 
@@ -147,3 +148,6 @@ class CausalOrder(GRPCMicroProtocol):
     @property
     def executed_count(self) -> int:
         return len(self._executed)
+
+
+register_protocol(CausalOrder.protocol_name)

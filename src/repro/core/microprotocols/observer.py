@@ -11,6 +11,13 @@ cancels events), which the test suite verifies.
 All observers in one deployment share a :class:`CallTraceLog`; query it
 by call identity for a timeline or ask for summary statistics (e.g.
 execution fan-out per call), as the quickstart example does.
+
+When the deployment has the observability layer enabled, the log also
+mirrors every observation into the shared
+:class:`~repro.obs.recorder.Recorder` as ``call.point`` event records, so
+the exported JSONL trace carries the protocol-level timeline alongside
+the span tree.  The query API (:meth:`~CallTraceLog.timeline` &c.) is
+unchanged either way.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.core.grpc import (
 )
 from repro.core.messages import CallKey, NetMsg, NetOp, UserMsg, UserOp
 from repro.core.microprotocols.base import GRPCMicroProtocol
+from repro.obs import register_protocol
 
 __all__ = ["TracePoint", "CallTraceLog", "CallObserver"]
 
@@ -45,13 +53,24 @@ class TracePoint:
 
 
 class CallTraceLog:
-    """Shared sink for every observer in a deployment."""
+    """Shared sink for every observer in a deployment.
 
-    def __init__(self) -> None:
+    Optionally mirrors into an enabled
+    :class:`~repro.obs.recorder.Recorder` (as ``call.point`` event
+    records); pass ``recorder=None`` for the standalone behavior.
+    """
+
+    def __init__(self, recorder: Any = None) -> None:
         self._points: Dict[CallKey, List[TracePoint]] = {}
+        self.recorder = (recorder if recorder is not None
+                         and getattr(recorder, "enabled", False) else None)
 
     def record(self, key: CallKey, point: TracePoint) -> None:
         self._points.setdefault(key, []).append(point)
+        if self.recorder is not None:
+            self.recorder.record_event(
+                "call.point", node=point.node, time=point.time,
+                key=tuple(key), kind=point.kind, detail=point.detail)
 
     def timeline(self, key: CallKey) -> List[TracePoint]:
         """All observations of one call, in time order."""
@@ -145,3 +164,6 @@ class CallObserver(GRPCMicroProtocol):
         record = self.grpc.sRPC.get(key)
         detail = record.op if record is not None else None
         self.log.record(key, self._point("executed", detail))
+
+
+register_protocol(CallObserver.protocol_name)

@@ -29,6 +29,7 @@ from repro.core.messages import NetMsg, NetOp
 from repro.core.microprotocols.base import Prio
 from repro.core.microprotocols.terminate_orphan import TerminateOrphan
 from repro.net.message import ProcessId
+from repro.obs import register_protocol
 
 __all__ = ["ProbeOrphanTermination"]
 
@@ -125,3 +126,6 @@ class ProbeOrphanTermination(TerminateOrphan):
                 self.kills += 1
             grpc.sRPC.remove(record.key)
             await self.trigger(CALL_ABORTED, record.key)
+
+
+register_protocol(ProbeOrphanTermination.protocol_name)

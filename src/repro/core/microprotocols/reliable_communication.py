@@ -17,6 +17,7 @@ from repro.core.events import TIMEOUT
 from repro.core.grpc import MSG_FROM_NETWORK, NEW_RPC_CALL, RECOVERY
 from repro.core.messages import NetMsg, NetOp
 from repro.core.microprotocols.base import GRPCMicroProtocol, Prio
+from repro.obs import CTX_KEY, register_protocol
 
 __all__ = ["ReliableCommunication"]
 
@@ -60,10 +61,19 @@ class ReliableCommunication(GRPCMicroProtocol):
 
     async def handle_timeout(self) -> None:
         grpc = self.grpc
+        obs = grpc.obs
         for record in grpc.pRPC.records():
             for pid, entry in record.pending.items():
                 if entry.acked:
                     continue
+                if obs is not None:
+                    # Attribute the retransmission to this micro-protocol
+                    # in the call's span tree (the timer chain has no
+                    # task-local context, so parent on the wire context).
+                    obs.span_event("rpc.send", node=self.my_id,
+                                   parent=record.annotations.get(CTX_KEY),
+                                   micro=self.name, call_id=record.id,
+                                   dest=pid, retransmit=True)
                 msg = NetMsg(type=NetOp.CALL, id=record.id, op=record.op,
                              args=record.request_args,
                              server=record.server,
@@ -79,3 +89,6 @@ class ReliableCommunication(GRPCMicroProtocol):
         # the retransmission timer.  Present so the recovery path is
         # explicit and testable.
         return
+
+
+register_protocol(ReliableCommunication.protocol_name)

@@ -22,6 +22,7 @@ from repro.core.grpc import (
 from repro.core.messages import CallKey, NetMsg, NetOp, UserMsg, UserOp
 from repro.core.microprotocols.base import GRPCMicroProtocol, Prio
 from repro.core.state import ClientRecord, ServerRecord
+from repro.obs import CTX_KEY, register_protocol
 
 __all__ = ["RPCMain"]
 
@@ -74,7 +75,8 @@ class RPCMain(GRPCMicroProtocol):
         key = self.call_key(msg)
         record = ServerRecord(key=key, op=msg.op, args=msg.args,
                               server=msg.server, client=msg.sender,
-                              inc=msg.inc)
+                              inc=msg.inc,
+                              obs_ctx=msg.annotation(CTX_KEY))
         self.grpc.sRPC.add(record)
         await self.forward_up(key, MAIN)
 
@@ -101,6 +103,18 @@ class RPCMain(GRPCMicroProtocol):
             await gate.acquire()
             grpc.serial_holder = self.current_task()
         record.executor = self.current_task()
+        obs = grpc.obs
+        span = None
+        if obs is not None:
+            # Parent on the dispatch chain's context when execution runs
+            # inline with the arrival; fall back to the context the call
+            # arrived with for ordering-gated executions released from a
+            # different chain.
+            span = obs.start_span(
+                "server.execute", node=self.my_id,
+                parent=obs.current() or record.obs_ctx,
+                attrs={"op": record.op, "call_id": record.call_id,
+                       "client": record.client})
         try:
             record.args = await grpc.deliver_to_server(record.op,
                                                        record.args)
@@ -110,9 +124,15 @@ class RPCMain(GRPCMicroProtocol):
             if gate is not None:
                 grpc.serial_holder = None
                 gate.release()
+            if obs is not None:
+                obs.end_span(span)
+        # The reply carries the execute span's context so the client-side
+        # msg.REPLY dispatch nests under this server's subtree.
+        reply_ann = {CTX_KEY: span.ctx} if span is not None else None
         reply = NetMsg(type=NetOp.REPLY, id=record.call_id, op=record.op,
                        args=record.args, server=record.server,
-                       sender=self.my_id, inc=record.inc)
+                       sender=self.my_id, inc=record.inc,
+                       annotations=reply_ann)
         grpc.sRPC.remove(key)
         await grpc.net_push(record.client, reply)
 
@@ -134,6 +154,18 @@ class RPCMain(GRPCMicroProtocol):
         grpc.pRPC_mutex.release()
         await self.trigger(NEW_RPC_CALL, record.id)
         umsg.id = record.id
+        obs = grpc.obs
+        if obs is not None:
+            # Stamp the client's span context into the record's
+            # annotations: every transmission of this call — including
+            # Reliable Communication's retransmissions — copies them onto
+            # the wire, reconnecting the server subtrees to the root.
+            ctx = obs.current()
+            if ctx is not None:
+                record.annotations[CTX_KEY] = ctx
+            obs.span_event("rpc.send", node=self.my_id, parent=ctx,
+                           micro=self.name, call_id=record.id,
+                           dests=list(record.server))
         # The wire message carries the *request* args; NEW_RPC_CALL may
         # already have repurposed record.args as the collation accumulator
         # (deviation #5 in DESIGN.md).
@@ -145,3 +177,6 @@ class RPCMain(GRPCMicroProtocol):
 
     async def handle_recovery(self, inc: int) -> None:
         self.grpc.inc_number = inc
+
+
+register_protocol(RPCMain.protocol_name)

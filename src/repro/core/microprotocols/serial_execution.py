@@ -19,6 +19,7 @@ the composite's ``serial`` semaphore as the *execution gate* that
 from __future__ import annotations
 
 from repro.core.microprotocols.base import GRPCMicroProtocol
+from repro.obs import register_protocol
 
 __all__ = ["SerialExecution"]
 
@@ -36,3 +37,6 @@ class SerialExecution(GRPCMicroProtocol):
         # The composite rebuilt `serial` fresh during crash teardown;
         # configure() re-installs it as the gate.
         return
+
+
+register_protocol(SerialExecution.protocol_name)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.grpc import CALL_FROM_USER
 from repro.core.messages import UserMsg, UserOp
 from repro.core.microprotocols.base import GRPCMicroProtocol
+from repro.obs import register_protocol
 
 __all__ = ["SynchronousCall"]
 
@@ -37,3 +38,6 @@ class SynchronousCall(GRPCMicroProtocol):
         await grpc.pRPC_mutex.acquire()
         grpc.pRPC.remove(umsg.id)
         grpc.pRPC_mutex.release()
+
+
+register_protocol(SynchronousCall.protocol_name)

@@ -27,6 +27,7 @@ from typing import Any, Dict, Set
 from repro.core.grpc import CALL_ABORTED, MSG_FROM_NETWORK, REPLY_FROM_SERVER
 from repro.core.messages import CallKey, NetMsg, NetOp
 from repro.core.microprotocols.base import GRPCMicroProtocol, Prio
+from repro.obs import register_protocol
 
 __all__ = ["UniqueExecution"]
 
@@ -99,3 +100,6 @@ class UniqueExecution(GRPCMicroProtocol):
         """
         if msg.type is NetOp.CALL:
             self.old_calls.add(self.call_key(msg))
+
+
+register_protocol(UniqueExecution.protocol_name)

@@ -25,6 +25,7 @@ from repro.core.messages import CallResult, NetMsg
 from repro.core.microprotocols import CallObserver, CallTraceLog
 from repro.errors import ReproError, TaskCancelled
 from repro.membership import HeartbeatMembership, OracleMembership
+from repro.obs import MetricsRegistry, Recorder, format_flame, to_jsonl
 from repro.net import (
     Group,
     LinkSpec,
@@ -73,20 +74,46 @@ class ServiceCluster:
                  heartbeat_interval: float = 0.05,
                  keep_trace: bool = True,
                  observe: bool = False,
+                 obs: Union[bool, Recorder] = False,
                  runtime: Optional[SimRuntime] = None):
         """``membership`` is ``None``, ``"oracle"`` or ``"heartbeat"``.
 
         ``observe=True`` links a read-only Call Observer micro-protocol
         into every composite and exposes the shared timeline as
         ``cluster.call_log``.
+
+        ``obs`` turns on the observability layer: ``True`` creates an
+        enabled :class:`~repro.obs.Recorder` sharing the cluster's
+        metrics registry; pass a pre-built recorder to control it
+        yourself (a recorder with ``enabled=False`` keeps every
+        instrumented component on its untraced path).  The metrics
+        registry itself (``cluster.metrics``) always exists — the fabric
+        counts messages through it regardless.
         """
         if n_servers < 1:
             raise ReproError("need at least one server")
         self.spec = spec
         self.runtime = runtime or SimRuntime()
+        if obs is True:
+            recorder: Optional[Recorder] = Recorder()
+        elif isinstance(obs, Recorder):
+            recorder = obs
+        else:
+            recorder = None
+        #: Deployment-wide instrument table (``net.*``, ``handler.*``,
+        #: ``kernel.*`` ...); adopted from the recorder when one is on so
+        #: spans, handler histograms and network counters share a home.
+        self.metrics = (recorder.metrics
+                        if recorder is not None and recorder.enabled
+                        else MetricsRegistry())
+        # Must precede node construction: composites and buses capture
+        # runtime.obs once, at attach time.
+        self.runtime.attach_obs(recorder)
+        #: The installed recorder (None when disabled).
+        self.obs = self.runtime.obs
         self.fabric = NetworkFabric(
             self.runtime, rand=RandomSource(seed),
-            default_link=default_link)
+            default_link=default_link, metrics=self.metrics)
         self.fabric.trace.keep_events = keep_trace
 
         self.server_pids = list(range(1, n_servers + 1))
@@ -99,8 +126,9 @@ class ServiceCluster:
         self.dispatchers: Dict[int, ServerDispatcher] = {}
         self.apps: Dict[int, ServerApp] = {}
         self.demuxes: Dict[int, TypeDemux] = {}
-        #: Shared per-call timeline when ``observe=True`` (else None).
-        self.call_log = CallTraceLog() if observe else None
+        #: Shared per-call timeline when ``observe=True`` (else None);
+        #: mirrored into the recorder when the obs layer is also on.
+        self.call_log = CallTraceLog(self.obs) if observe else None
 
         for pid in self.server_pids:
             self._build_node(pid, _instantiate_app(app_factory, pid))
@@ -156,6 +184,32 @@ class ServiceCluster:
     @property
     def trace(self):
         return self.fabric.trace
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def publish_runtime_stats(self) -> None:
+        """Snapshot the runtime's scheduler counters into ``kernel.*``
+        gauges, so they ride along in metric exports."""
+        for name, value in self.runtime.stats().items():
+            self.metrics.gauge(f"kernel.{name}").set(value)
+
+    def export_trace(self, stream) -> int:
+        """Write the recorded trace + metrics as JSONL; returns the line
+        count.  Requires the obs layer (``obs=True``)."""
+        if self.obs is None:
+            raise ReproError("observability layer is not enabled "
+                             "(construct the cluster with obs=True)")
+        self.publish_runtime_stats()
+        return to_jsonl(self.obs, stream)
+
+    def format_flame(self, trace: Optional[int] = None) -> str:
+        """Human-readable span tree(s); requires the obs layer."""
+        if self.obs is None:
+            raise ReproError("observability layer is not enabled "
+                             "(construct the cluster with obs=True)")
+        return format_flame(self.obs, trace)
 
     def node(self, pid: int) -> Node:
         return self.nodes[pid]

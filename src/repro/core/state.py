@@ -134,6 +134,11 @@ class ServerRecord:
     #: Terminate Orphan kills orphans through it (the paper's
     #: ``kill(thread)``).
     executor: Any = None
+    #: Span context the call arrived with (``NetMsg.annotations`` under
+    #: :data:`repro.obs.recorder.CTX_KEY`); lets an ordering-gated
+    #: execution — which runs in a *different* dispatch chain than the
+    #: arrival — still parent its ``server.execute`` span correctly.
+    obs_ctx: Any = None
 
     @property
     def call_id(self) -> int:

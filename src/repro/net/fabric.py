@@ -29,6 +29,7 @@ from repro.errors import ReproError
 from repro.net.message import Envelope, Group, ProcessId
 from repro.net.node import Node
 from repro.net.trace import NetTrace
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.base import Runtime
 from repro.sim.rand import RandomSource
 
@@ -70,11 +71,12 @@ class NetworkFabric:
     def __init__(self, runtime: Runtime, *,
                  rand: Optional[RandomSource] = None,
                  default_link: LinkSpec = LinkSpec(),
-                 trace: Optional[NetTrace] = None):
+                 trace: Optional[NetTrace] = None,
+                 metrics: Optional["MetricsRegistry"] = None):
         self.runtime = runtime
         self.rand = rand or RandomSource(0)
         self.default_link = default_link
-        self.trace = trace or NetTrace()
+        self.trace = trace or NetTrace(metrics=metrics)
         self.nodes: Dict[ProcessId, Node] = {}
         self._links: Dict[Tuple[ProcessId, ProcessId], LinkSpec] = {}
         self._blocked: Set[Tuple[ProcessId, ProcessId]] = set()

@@ -4,15 +4,25 @@ Every fabric decision (send, drop, duplicate, deliver, crash, recover) is
 recorded here.  Experiments use the counters for their reported metrics
 (message costs per call, retransmission counts) and the event log for
 invariant checking in tests.
+
+The per-kind counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+under ``net.<kind>`` (one registry per deployment, shared with the rest of
+the observability layer).  The legacy ``trace.counts[...]`` mapping is kept
+as a read-only view over those counters so existing callers and tests keep
+working; new code should read ``metrics.counter("net.send")`` &c. directly.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["TraceEvent", "NetTrace"]
+
+#: Registry namespace for the fabric's per-kind counters.
+NET_PREFIX = "net."
 
 
 @dataclass(frozen=True)
@@ -31,23 +41,55 @@ class TraceEvent:
     detail: Any = None
 
 
+class _CountsView(Mapping):
+    """Read-only ``Counter``-style view over the ``net.*`` counters.
+
+    Preserves the old interface: missing kinds read as 0, iteration and
+    ``dict(...)`` cover only kinds that have actually been counted (zeroed
+    counters — e.g. after :meth:`NetTrace.clear` — are skipped, matching
+    ``collections.Counter`` semantics where ``clear`` empties the dict).
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: MetricsRegistry):
+        self._metrics = metrics
+
+    def __getitem__(self, kind: str) -> int:
+        return int(self._metrics.value(NET_PREFIX + kind, 0))
+
+    def __iter__(self) -> Iterator[str]:
+        for name in self._metrics.counter_names(NET_PREFIX):
+            if self._metrics.value(name, 0) > 0:
+                yield name[len(NET_PREFIX):]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_CountsView({dict(self)!r})"
+
+
 class NetTrace:
     """Accumulates :class:`TraceEvent` records and per-kind counters.
 
     Recording the full event list can be disabled (counters only) for the
-    large benchmark runs via ``keep_events=False``.
+    large benchmark runs via ``keep_events=False``.  Pass the deployment's
+    shared registry as ``metrics`` to fold the network counters into it; a
+    private registry is created otherwise.
     """
 
-    def __init__(self, keep_events: bool = True):
+    def __init__(self, keep_events: bool = True,
+                 metrics: Optional[MetricsRegistry] = None):
         self.keep_events = keep_events
         self.events: List[TraceEvent] = []
-        self.counts: Counter = Counter()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Optional live observers, e.g. a test asserting on the fly.
         self.observers: List[Callable[[TraceEvent], None]] = []
 
     def record(self, time: float, kind: str, src: int = -1, dst: int = -1,
                detail: Any = None) -> None:
-        self.counts[kind] += 1
+        self.metrics.counter(NET_PREFIX + kind).inc()
         event = TraceEvent(time, kind, src, dst, detail)
         if self.keep_events:
             self.events.append(event)
@@ -57,20 +99,29 @@ class NetTrace:
     # -- convenience accessors -------------------------------------------
 
     @property
+    def counts(self) -> Mapping:
+        """Deprecated per-kind counter mapping (kind -> count).
+
+        A live read-only view over the registry's ``net.*`` counters; kept
+        for backward compatibility with pre-registry callers.
+        """
+        return _CountsView(self.metrics)
+
+    @property
     def sends(self) -> int:
-        return self.counts["send"]
+        return int(self.metrics.value(NET_PREFIX + "send", 0))
 
     @property
     def deliveries(self) -> int:
-        return self.counts["deliver"]
+        return int(self.metrics.value(NET_PREFIX + "deliver", 0))
 
     @property
     def losses(self) -> int:
-        return self.counts["drop-loss"]
+        return int(self.metrics.value(NET_PREFIX + "drop-loss", 0))
 
     @property
     def duplicates(self) -> int:
-        return self.counts["duplicate"]
+        return int(self.metrics.value(NET_PREFIX + "duplicate", 0))
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -84,4 +135,4 @@ class NetTrace:
 
     def clear(self) -> None:
         self.events.clear()
-        self.counts.clear()
+        self.metrics.reset(NET_PREFIX)

@@ -1,0 +1,64 @@
+"""repro.obs — the unified observability layer.
+
+One instrumentation surface threaded through the simulation kernel, the
+composite-protocol framework, every micro-protocol and the network
+fabric:
+
+* **RPC spans** (:mod:`repro.obs.recorder`) — a trace minted at
+  ``GroupRPC.call()``, propagated inside wire messages, closed on
+  termination, yielding one span tree per call;
+* **event-dispatch tracing** — structured records from the framework's
+  ``register``/``trigger``/``cancel_event``/``TIMEOUT`` paths with
+  per-micro-protocol virtual-time handler durations;
+* a **metrics registry** (:mod:`repro.obs.metrics`) — counters, gauges
+  and virtual-time histograms, also backing the network fabric's
+  counters;
+* **exporters** (:mod:`repro.obs.export`) — JSONL dump, per-call flame
+  summary, and the ``python -m repro trace <config>`` CLI.
+
+Disabled is the default and costs (nearly) nothing: the recorder is
+checked once at :meth:`~repro.runtime.base.Runtime.attach_obs` time and
+instrumented components store ``None``, leaving their hot paths on the
+untraced branch (see ``tests/test_obs_overhead.py``).
+"""
+
+from repro.obs.export import (
+    SpanNode,
+    format_flame,
+    read_jsonl,
+    span_trees,
+    to_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    CTX_KEY,
+    EventRecord,
+    Recorder,
+    Span,
+    SpanContext,
+)
+from repro.obs.registry import (
+    is_registered,
+    register_protocol,
+    registered_protocols,
+)
+
+__all__ = [
+    "CTX_KEY",
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Recorder",
+    "Span",
+    "SpanContext",
+    "SpanNode",
+    "format_flame",
+    "is_registered",
+    "read_jsonl",
+    "register_protocol",
+    "registered_protocols",
+    "span_trees",
+    "to_jsonl",
+]

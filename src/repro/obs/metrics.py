@@ -1,0 +1,173 @@
+"""Counters, gauges and virtual-time histograms.
+
+The metrics half of :mod:`repro.obs`: a single :class:`MetricsRegistry`
+per deployment absorbs what used to be scattered ad-hoc counters (most
+prominently :class:`repro.net.trace.NetTrace`'s ``collections.Counter``)
+so experiments, benchmarks and the trace exporters all read from one
+place.  Instruments are created on first use and are deliberately tiny —
+a counter increment is one attribute add — because the network fabric
+increments them on every message even when tracing is disabled.
+
+Histograms record *virtual-time* observations (handler durations, span
+lengths); :meth:`Histogram.summary` reports count/sum/min/max/mean and
+the interpolation-free percentiles the benchmarks quote.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, kernel step count, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """A distribution of virtual-time observations.
+
+    Stores the raw values (simulation runs are small enough that exact
+    percentiles beat bucketing) and summarizes on demand.
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]); 0 when empty."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        if not self._values:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self._values),
+            "max": max(self._values),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricsRegistry:
+    """Name -> instrument table shared by one deployment.
+
+    Instruments live in separate namespaces per type; asking for a
+    counter named like an existing gauge is an error caught by the
+    caller's own naming discipline (names are dotted paths such as
+    ``net.send`` or ``handler.Reliable_Communication``).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (create on first use) -------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    # -- read-only views --------------------------------------------------
+
+    def value(self, name: str, default: float = 0) -> float:
+        """A counter's value without creating it."""
+        inst = self._counters.get(name)
+        return inst.value if inst is not None else default
+
+    def counter_names(self, prefix: str = "") -> List[str]:
+        return [n for n in self._counters if n.startswith(prefix)]
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Everything, as plain data (what the exporters serialize)."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: h.summary()
+                           for n, h in self._histograms.items()},
+        }
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero counters/gauges and drop histograms under ``prefix``."""
+        for name, counter in self._counters.items():
+            if name.startswith(prefix):
+                counter.value = 0
+        for name, gauge in self._gauges.items():
+            if name.startswith(prefix):
+                gauge.value = 0.0
+        for name in [n for n in self._histograms if n.startswith(prefix)]:
+            del self._histograms[name]

@@ -1,0 +1,39 @@
+"""The micro-protocol catalog of the observability layer.
+
+Every micro-protocol module registers its protocol name here at import
+time (``register_protocol(MyMicro.protocol_name)``), so trace consumers
+can resolve the ``owner`` field of a dispatch record to a known
+micro-protocol and the :mod:`repro.analysis` lint can statically verify
+that no module forgot.  Registration is idempotent and costs one set
+insert per process lifetime — it carries no per-call overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+__all__ = ["register_protocol", "registered_protocols", "is_registered"]
+
+#: Protocol name -> defining module ("" when unknown).
+_CATALOG: Dict[str, str] = {}
+
+
+def register_protocol(name: str, module: str = "") -> str:
+    """Announce a micro-protocol name to the obs layer.
+
+    Returns the name so modules can write
+    ``register_protocol(MyMicro.protocol_name)`` as a bare statement.
+    """
+    if not name:
+        raise ValueError("micro-protocol name must be non-empty")
+    _CATALOG.setdefault(name, module)
+    return name
+
+
+def registered_protocols() -> FrozenSet[str]:
+    """The names every imported micro-protocol has registered."""
+    return frozenset(_CATALOG)
+
+
+def is_registered(name: str) -> bool:
+    return name in _CATALOG

@@ -149,6 +149,17 @@ class AsyncioRuntime(Runtime):
     def queue(self) -> _AsyncioQueue:
         return _AsyncioQueue()
 
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Loop-level counters (coarser than the sim kernel's: asyncio
+        exposes no step counts, so report time and live task count)."""
+        try:
+            return {"now": self.now(),
+                    "tasks_live": len(asyncio.all_tasks(self.loop))}
+        except RuntimeError:  # no loop running yet
+            return {}
+
 
 def _consume_cancellation(task: asyncio.Task) -> None:
     if task.cancelled():

@@ -24,6 +24,39 @@ class Runtime(abc.ABC):
     #: Exception classes that signal task cancellation on this runtime.
     cancelled_exceptions: Tuple[type, ...] = ()
 
+    #: The attached observability recorder; ``None`` when disabled.
+    _obs: Any = None
+
+    # -- observability ---------------------------------------------------
+
+    def attach_obs(self, recorder: Any) -> None:
+        """Install an observability recorder for this runtime's stacks.
+
+        The enabled check happens HERE, once: a disabled (or ``None``)
+        recorder is stored as ``None``, and every instrumented component
+        (event buses, composites, the fabric) captures that reference at
+        construction time — so the disabled hot path is a single
+        ``is None`` test.  Attach before building protocol stacks.
+        """
+        if recorder is not None and getattr(recorder, "enabled", False):
+            self._obs = recorder
+            recorder.bind(self)
+        else:
+            self._obs = None
+
+    @property
+    def obs(self) -> Any:
+        """The enabled recorder, or ``None`` (tracing disabled)."""
+        return self._obs
+
+    def stats(self) -> dict:
+        """Scheduler-level counters for the metrics exporters.
+
+        Concrete runtimes override this with whatever their scheduler
+        can cheaply report (the sim kernel: steps, spawns, timer fires).
+        """
+        return {}
+
     # -- time -----------------------------------------------------------
 
     @abc.abstractmethod

@@ -85,3 +85,9 @@ class SimRuntime(Runtime):
 
     def run_until_idle(self, *, strict: bool = True) -> None:
         self.kernel.run_until_idle(strict=strict)
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """The kernel's scheduler counters (steps, spawns, timer fires)."""
+        return self.kernel.stats()

@@ -243,6 +243,12 @@ class Kernel:
         #: Exceptions from tasks that finished with an error and were never
         #: joined.  ``run(..., strict=True)`` re-raises the first of these.
         self.failures: list[tuple[Task, BaseException]] = []
+        # Scheduler counters for the observability layer (plain integer
+        # increments on the hot paths; summarized by :meth:`stats`).
+        self.tasks_spawned = 0
+        self.steps_executed = 0
+        self.timers_scheduled = 0
+        self.timers_fired = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -263,6 +269,7 @@ class Kernel:
         task = Task(coro, name, daemon, self)
         self._tasks[task.id] = task
         self._ready.append((task, None))
+        self.tasks_spawned += 1
         return task
 
     def call_later(self, delay: float, action: Callable[[], None]) -> Timer:
@@ -276,6 +283,7 @@ class Kernel:
         timer = Timer(self._now + delay, self._timer_seq, action)
         self._timer_seq += 1
         heapq.heappush(self._timers, timer)
+        self.timers_scheduled += 1
         return timer
 
     def call_at(self, when: float, action: Callable[[], None]) -> Timer:
@@ -340,6 +348,17 @@ class Kernel:
         """All tasks that have not finished."""
         return [t for t in self._tasks.values() if not t.done]
 
+    def stats(self) -> dict:
+        """Scheduler counters, as plain data for the obs exporters."""
+        return {
+            "now": self._now,
+            "tasks_spawned": self.tasks_spawned,
+            "tasks_live": len(self._tasks),
+            "steps_executed": self.steps_executed,
+            "timers_scheduled": self.timers_scheduled,
+            "timers_fired": self.timers_fired,
+        }
+
     def shutdown(self) -> None:
         """Cancel every live task and run their cleanup to completion.
 
@@ -386,6 +405,7 @@ class Kernel:
                     self._now = deadline
                     break
                 self._now = max(self._now, timer.when)
+                self.timers_fired += 1
                 timer.action()
         finally:
             self._running = False
@@ -411,6 +431,7 @@ class Kernel:
         """Run one task until it blocks, yields, or finishes."""
         self._current = task
         task.state = _RUNNING
+        self.steps_executed += 1
         try:
             while True:
                 try:

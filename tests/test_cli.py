@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -34,6 +36,37 @@ def test_trace(capsys, ordering):
     assert "status OK" in out
     if ordering == "total":
         assert "received-Order" in out
+
+
+def test_trace_config_emits_jsonl(capsys):
+    assert main(["trace", "read-optimized", "--calls", "1"]) == 0
+    out = capsys.readouterr().out
+    lines = [json.loads(line) for line in out.splitlines()]
+    spans = [l for l in lines if l["t"] == "span"]
+    roots = [l for l in spans if l["parent"] is None]
+    assert len(roots) == 1 and roots[0]["name"] == "rpc.call"
+    # The tree reconstructs: every parent id exists.
+    ids = {l["id"] for l in spans}
+    assert all(l["parent"] in ids for l in spans if l["parent"] is not None)
+    assert any(l["name"] == "server.execute" for l in spans)
+    # Handler timings and the absorbed network counters ride along.
+    assert any(l["t"] == "event" and l["kind"] == "handler" for l in lines)
+    metrics = {l["name"] for l in lines if l["t"] == "metric"}
+    assert "net.send" in metrics
+    assert any(m.startswith("handler.") for m in metrics)
+    assert any(m.startswith("kernel.") for m in metrics)
+
+
+def test_trace_config_flame(capsys):
+    assert main(["trace", "exactly-once", "--calls", "1", "--flame"]) == 0
+    out = capsys.readouterr().out
+    assert "rpc.call" in out and "server.execute" in out
+    assert "RPC_Main" in out  # per-handler lines carry the owner
+
+
+def test_trace_rejects_unknown_config():
+    with pytest.raises(SystemExit):
+        main(["trace", "no-such-config"])
 
 
 def test_no_command_prints_help(capsys):
