@@ -1,0 +1,94 @@
+"""X14 — sharded-keyspace throughput scaling (extension).
+
+One keyspace spanned over 1..8 independently-configured KV shards on a
+single fabric (the deployment plane).  Every shard runs Serial Execution
+with a fixed per-operation service time, so one shard's throughput is
+capacity-bound; a pool of closed-loop client nodes drives the same total
+workload against every shard count.  Expected shape: throughput grows
+with shard count until the client pool stops saturating the shards, and
+the key->shard hash spreads the keyspace evenly enough that no shard
+serializes the rest.
+"""
+
+from _common import attach, run_once, save_result
+
+from repro import Deployment, LinkSpec, ServiceSpec
+from repro.apps import KVStore, ShardedKV, build_sharded_kv
+from repro.bench import banner, render_table
+
+LINK = LinkSpec(delay=0.001, jitter=0.0005)
+OP_DELAY = 0.005           # server-side service time per put
+SHARD_COUNTS = (1, 2, 4, 8)
+N_WORKERS = 16             # closed-loop client nodes
+OPS_PER_WORKER = 15
+
+
+def run_point(n_shards):
+    dep = Deployment(seed=14, default_link=LINK, keep_trace=False)
+    spec = ServiceSpec(execution="serial", bounded=30.0, acceptance=1)
+    kv = build_sharded_kv(
+        dep, n_shards, spec=spec, servers_per_shard=1, clients=N_WORKERS,
+        app_factory=lambda: KVStore(op_delay=OP_DELAY, keep_log=False))
+    workers = dep.services[kv.router.services[0]].client_pids
+    ops_total = N_WORKERS * OPS_PER_WORKER
+    failures = []
+
+    async def worker(pid, lane):
+        view = ShardedKV(dep, pid, kv.router)
+        for i in range(OPS_PER_WORKER):
+            result = await view.put(f"w{lane}-k{i}", i)
+            if not result.ok:
+                failures.append((pid, i, result.status))
+
+    async def scenario():
+        tasks = [dep.spawn_client(pid, worker(pid, lane))
+                 for lane, pid in enumerate(workers)]
+        for task in tasks:
+            await dep.runtime.join(task)
+
+    start = dep.runtime.now()
+    dep.run_scenario(scenario())
+    elapsed = dep.runtime.now() - start
+    dep.settle(1.0)  # drain retransmits so no coroutine dies mid-flight
+    dep.shutdown()
+    per_shard = [
+        dep.metrics.value(f"service.{name}.executions")
+        for name in kv.router.services]
+    return {"shards": n_shards,
+            "throughput": ops_total / elapsed,
+            "elapsed_s": elapsed,
+            "failures": len(failures),
+            "exec_spread": max(per_shard) / max(1, min(per_shard))}
+
+
+def test_x14_sharded_scaling(benchmark):
+    def experiment():
+        return [run_point(n) for n in SHARD_COUNTS]
+
+    rows = run_once(benchmark, experiment)
+
+    base = rows[0]["throughput"]
+    table = render_table(
+        ["shards", "ops/s (virtual)", "speedup", "exec spread"],
+        [[r["shards"], f"{r['throughput']:.0f}",
+          f"{r['throughput'] / base:.2f}x",
+          f"{r['exec_spread']:.2f}"] for r in rows])
+    save_result("x14_sharded_scaling", "\n".join([
+        banner("X14 — sharded keyspace scaling",
+               f"{N_WORKERS} closed-loop clients, "
+               f"{N_WORKERS * OPS_PER_WORKER} puts, serial execution, "
+               f"{OP_DELAY * 1000:.0f}ms/op service time, link "
+               f"{LINK.delay * 1000:.1f}ms"),
+        table]))
+    attach(benchmark, {f"shards_{r['shards']}":
+                       round(r["throughput"], 1) for r in rows})
+
+    assert all(r["failures"] == 0 for r in rows)
+    by_shards = {r["shards"]: r["throughput"] for r in rows}
+    # Sharding must actually scale: each doubling helps, and 8 shards
+    # beat one by a wide margin.
+    assert by_shards[2] > 1.5 * by_shards[1]
+    assert by_shards[4] > 2.5 * by_shards[1]
+    assert by_shards[8] > by_shards[4]
+    # The CRC router keeps the shards reasonably balanced.
+    assert all(r["exec_spread"] < 3.0 for r in rows[1:])

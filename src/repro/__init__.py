@@ -18,7 +18,9 @@ Quickstart::
 
 from repro.core import (
     CallResult,
+    Deployment,
     GroupRPC,
+    Service,
     ServiceCluster,
     ServiceSpec,
     Status,
@@ -36,6 +38,8 @@ from repro.runtime import AsyncioRuntime, SimRuntime
 __version__ = "1.0.0"
 
 __all__ = [
+    "Deployment",
+    "Service",
     "ServiceCluster",
     "ServiceSpec",
     "GroupRPC",

@@ -6,6 +6,7 @@ from repro.apps.counter import CounterApp
 from repro.apps.dispatcher import ServerApp, ServerDispatcher
 from repro.apps.kvstore import KVStore
 from repro.apps.locks import LockService
+from repro.apps.sharding import ShardedKV, ShardRouter, build_sharded_kv
 from repro.apps.workqueue import WorkQueue
 
 __all__ = [
@@ -17,4 +18,7 @@ __all__ = [
     "ComputeApp",
     "LockService",
     "WorkQueue",
+    "ShardRouter",
+    "ShardedKV",
+    "build_sharded_kv",
 ]

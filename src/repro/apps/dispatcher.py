@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import UnknownCallError
 from repro.net.node import Node
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.xkernel.upi import Protocol
 
 __all__ = ["ServerApp", "ServerDispatcher"]
@@ -70,10 +71,13 @@ class ServerApp:
 class ServerDispatcher(Protocol):
     """x-kernel user protocol invoking application procedures."""
 
-    def __init__(self, node: Node, app: ServerApp):
+    def __init__(self, node: Node, app: ServerApp, *,
+                 service: str = "",
+                 metrics: Optional[MetricsRegistry] = None):
         super().__init__(f"server@{node.pid}")
         self.node = node
         self.app = app
+        self.service = service
         app.bind(node)
         node.crash_listeners.append(app.on_crash)
         #: Every execution as (op, args) in order — the raw material for
@@ -81,10 +85,18 @@ class ServerDispatcher(Protocol):
         self.execution_log: List[Tuple[str, Any]] = []
         #: Executions per request tag, when args carry a ``tag`` key.
         self.executions_by_tag: Dict[Any, int] = {}
+        #: Per-service execution counter (``service.<name>.executions``)
+        #: when deployed with a service label and a shared registry.
+        self._exec_counter: Optional[Counter] = None
+        if metrics is not None and service:
+            self._exec_counter = metrics.counter(
+                f"service.{service}.executions")
 
     async def pop(self, op: str, args: Any) -> Any:
         """The blocking ``Server.pop`` upcall from gRPC."""
         self.execution_log.append((op, args))
+        if self._exec_counter is not None:
+            self._exec_counter.inc()
         if isinstance(args, dict) and "tag" in args:
             tag = args["tag"]
             self.executions_by_tag[tag] = \

@@ -1,0 +1,145 @@
+"""Sharding a keyspace over independently-configured services.
+
+The deployment plane hosts many named services on one fabric; this
+module spans a single logical keyspace over N of them.  A
+:class:`ShardRouter` deterministically maps each key to a service name
+(CRC-32 modulo the shard list — stable across processes and runs, unlike
+Python's salted ``hash``), and :class:`ShardedKV` is the client-side
+helper that routes ``put``/``get``/``delete`` through a
+:class:`~repro.core.deployment.Deployment`'s name-resolved call path.
+Because each shard is an ordinary named service, shards can differ in
+*semantics*, not just placement: one shard totally ordered for
+read-modify-write keys, another read-optimized, a third exactly-once.
+
+:func:`build_sharded_kv` wires the whole thing: N KV services (uniform
+spec or per-shard specs), shared client nodes, and a ready router.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.apps.kvstore import KVStore
+from repro.core.config import ServiceSpec
+from repro.core.messages import CallResult
+from repro.errors import ReproError
+
+__all__ = ["ShardRouter", "ShardedKV", "build_sharded_kv"]
+
+
+class ShardRouter:
+    """Deterministic key -> service-name routing (hash modulo shards).
+
+    The shard list's order is part of the routing function: two routers
+    built from the same sequence agree on every key, which is what lets
+    any number of independent clients share one keyspace layout.
+    """
+
+    def __init__(self, services: Sequence[str]):
+        self.services: List[str] = list(services)
+        if not self.services:
+            raise ReproError("a shard router needs at least one service")
+
+    def __len__(self) -> int:
+        return len(self.services)
+
+    def shard_index(self, key: Any) -> int:
+        return zlib.crc32(str(key).encode("utf-8")) % len(self.services)
+
+    def route(self, key: Any) -> str:
+        """The service name responsible for ``key``."""
+        return self.services[self.shard_index(key)]
+
+    def partition(self, keys: Iterable[Any]) -> Dict[str, List[Any]]:
+        """Group ``keys`` by owning service (bulk-operation helper)."""
+        out: Dict[str, List[Any]] = {name: [] for name in self.services}
+        for key in keys:
+            out[self.route(key)].append(key)
+        return out
+
+
+class ShardedKV:
+    """A client-side view of one keyspace spanning N KV services.
+
+    Awaitable from a client task on node ``client_pid``; that node must
+    participate (as client) in every shard service, which is what
+    :func:`build_sharded_kv` arranges.  Single-key operations touch
+    exactly one shard; :meth:`keys` fans out to all of them.
+    """
+
+    def __init__(self, deployment: Any, client_pid: int,
+                 router: Union[ShardRouter, Sequence[str]]):
+        self.deployment = deployment
+        self.client_pid = client_pid
+        self.router = router if isinstance(router, ShardRouter) \
+            else ShardRouter(router)
+
+    def shard_of(self, key: Any) -> str:
+        return self.router.route(key)
+
+    async def _call(self, key: Any, op: str,
+                    args: Dict[str, Any]) -> CallResult:
+        return await self.deployment.call(self.client_pid,
+                                          self.router.route(key), op, args)
+
+    async def put(self, key: Any, value: Any,
+                  **extra: Any) -> CallResult:
+        return await self._call(key, "put",
+                                {"key": key, "value": value, **extra})
+
+    async def get(self, key: Any) -> CallResult:
+        return await self._call(key, "get", {"key": key})
+
+    async def delete(self, key: Any) -> CallResult:
+        return await self._call(key, "delete", {"key": key})
+
+    async def keys(self) -> List[str]:
+        """Union of keys across all shards (sorted)."""
+        seen: set = set()
+        for name in self.router.services:
+            result = await self.deployment.call(self.client_pid, name,
+                                                "keys", {})
+            if result.ok and result.args:
+                seen.update(result.args)
+        return sorted(seen)
+
+
+def build_sharded_kv(deployment: Any, n_shards: int, *,
+                     spec: Optional[ServiceSpec] = None,
+                     specs: Optional[Sequence[ServiceSpec]] = None,
+                     servers_per_shard: int = 1,
+                     clients: Union[int, Sequence[int]] = 1,
+                     name_prefix: str = "shard",
+                     app_factory: Any = KVStore,
+                     observe: bool = False) -> ShardedKV:
+    """Deploy ``n_shards`` KV services and return a routed client.
+
+    Pass a single ``spec`` for uniform shards or per-shard ``specs``
+    (length ``n_shards``) to configure each shard's semantics
+    independently.  Server pids are auto-allocated per shard; ``clients``
+    (a count or explicit pids) are shared by every shard, so any of those
+    nodes can drive the whole keyspace.  Returns a :class:`ShardedKV`
+    bound to the first client; build more views over the same router for
+    the other client pids.
+    """
+    if n_shards < 1:
+        raise ReproError("need at least one shard")
+    if specs is not None and len(specs) != n_shards:
+        raise ReproError(f"got {len(specs)} specs for {n_shards} shards")
+    if specs is None:
+        specs = [spec if spec is not None else ServiceSpec()] * n_shards
+
+    first = None
+    names: List[str] = []
+    for i in range(n_shards):
+        name = f"{name_prefix}-{i}"
+        svc = deployment.add_service(
+            name, specs[i], app_factory,
+            servers=servers_per_shard,
+            clients=clients if first is None else first.client_pids,
+            observe=observe)
+        if first is None:
+            first = svc
+        names.append(name)
+    return ShardedKV(deployment, first.client, ShardRouter(names))

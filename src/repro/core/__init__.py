@@ -39,6 +39,7 @@ from repro.core.messages import (
     UserMsg,
     UserOp,
 )
+from repro.core.deployment import CLIENT_BASE_PID, Deployment, Service
 from repro.core.service import ServiceCluster
 
 __all__ = [
@@ -69,4 +70,7 @@ __all__ = [
     "MemChange",
     "CallResult",
     "ServiceCluster",
+    "Deployment",
+    "Service",
+    "CLIENT_BASE_PID",
 ]

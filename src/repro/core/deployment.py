@@ -1,0 +1,534 @@
+"""The deployment plane: many named services, one simulated fabric.
+
+The paper's point is that one framework hosts *many* RPC variants; a
+:class:`Deployment` is where they coexist at runtime.  It owns everything
+that is shared — the runtime, the network fabric, the nodes, the
+observability layer, the membership substrate, the
+:class:`~repro.stubs.BindingRegistry` — while each call to
+:meth:`Deployment.add_service` wires one *named service*: a
+:class:`~repro.core.config.ServiceSpec`, the
+:class:`~repro.net.message.Group` of its servers, and one gRPC composite
+per participating node (servers additionally carry the application
+dispatcher).  A node may participate in any number of services, each
+with a *different* micro-protocol stack; arrivals are demultiplexed to
+the right composite by the service key every transmission carries
+(:class:`~repro.xkernel.demux.ServiceDemux`).
+
+Layout conventions are inherited from the single-service days: server
+process ids live below :data:`CLIENT_BASE_PID` (so the Total Order
+leader rule keeps working), client ids at or above it.  Passing an ``int``
+for ``servers``/``clients`` auto-allocates the lowest free pids in the
+respective range.
+
+Clients address services *by name*: ``await deployment.call(pid, "svc",
+op, args)`` resolves the name through the binding registry at call time,
+so a :meth:`rebind` after a reconfiguration redirects subsequent calls
+atomically.  Per-service traffic is labelled in the shared
+:class:`~repro.obs.metrics.MetricsRegistry` (``service.<name>.calls``,
+``.status.<S>``, ``.latency``, ``.executions``) and on every RPC span
+(``service`` attribute).
+
+:class:`~repro.core.service.ServiceCluster` is a thin back-compat
+wrapper over a one-service deployment.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import (
+    Any,
+    Callable,
+    Coroutine,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Union,
+)
+
+from repro.apps.dispatcher import ServerApp, ServerDispatcher
+from repro.core.config import ServiceSpec
+from repro.core.grpc import GroupRPC
+from repro.core.messages import CallResult, NetMsg
+from repro.core.microprotocols import CallObserver, CallTraceLog
+from repro.errors import (
+    BindingError,
+    ConfigurationError,
+    ReproError,
+    TaskCancelled,
+)
+from repro.membership import HeartbeatMembership, OracleMembership
+from repro.obs import MetricsRegistry, Recorder, format_flame, to_jsonl
+from repro.net import (
+    Group,
+    LinkSpec,
+    NetworkFabric,
+    Node,
+    UnreliableTransport,
+)
+from repro.runtime import SimRuntime
+from repro.sim import RandomSource
+from repro.stubs.binding import BindingRegistry
+from repro.xkernel import ServiceDemux, TypeDemux, compose_stack
+
+__all__ = ["Deployment", "Service", "CLIENT_BASE_PID"]
+
+#: Client process ids start here; server pids must stay below it so the
+#: two ranges can never collide (checked, not assumed).
+CLIENT_BASE_PID = 101
+
+
+def _instantiate_app(factory: Callable[..., ServerApp],
+                     pid: int) -> ServerApp:
+    """Build one server app, passing the pid if the factory accepts one.
+
+    Lets callers pass a zero-argument class (``KVStore``) or a
+    pid-consuming factory (``lambda pid: ComputeApp(pid * 10.0)``).
+    """
+    try:
+        signature = inspect.signature(factory)
+        takes_pid = any(
+            p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD,
+                       p.VAR_POSITIONAL)
+            for p in signature.parameters.values())
+    except (TypeError, ValueError):  # builtins without signatures
+        takes_pid = True
+    return factory(pid) if takes_pid else factory()
+
+
+class Service:
+    """One named service of a deployment: spec + group + composites.
+
+    Handles returned by :meth:`Deployment.add_service`.  ``grpcs`` maps
+    every participating pid (servers and clients) to that node's
+    composite for *this* service; ``dispatchers``/``apps`` cover the
+    server side only.
+    """
+
+    def __init__(self, deployment: "Deployment", name: str,
+                 spec: ServiceSpec, group: Group,
+                 server_pids: List[int], client_pids: List[int],
+                 call_log: Optional[CallTraceLog]):
+        self.deployment = deployment
+        self.name = name
+        self.spec = spec
+        #: Current target group (replaced by :meth:`Deployment.rebind`).
+        self.group = group
+        self.server_pids = server_pids
+        self.client_pids = client_pids
+        self.grpcs: Dict[int, GroupRPC] = {}
+        self.dispatchers: Dict[int, ServerDispatcher] = {}
+        self.apps: Dict[int, ServerApp] = {}
+        #: Shared per-call timeline when built with ``observe=True``.
+        self.call_log = call_log
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def client(self) -> int:
+        """The first client's pid (single-client shorthand)."""
+        return self.client_pids[0]
+
+    def grpc(self, pid: int) -> GroupRPC:
+        return self.grpcs[pid]
+
+    def app(self, pid: int) -> ServerApp:
+        return self.apps[pid]
+
+    def dispatcher(self, pid: int) -> ServerDispatcher:
+        return self.dispatchers[pid]
+
+    # -- calling ---------------------------------------------------------
+
+    async def call(self, client_pid: int, op: str, args: Any) -> CallResult:
+        return await self.deployment.call(client_pid, self.name, op, args)
+
+    def call_and_run(self, op: str, args: Any, *,
+                     client_pid: Optional[int] = None,
+                     extra_time: float = 0.0) -> CallResult:
+        return self.deployment.call_and_run(
+            self.name, op, args,
+            client_pid=client_pid if client_pid is not None else self.client,
+            extra_time=extra_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Service {self.name!r} servers={self.server_pids} "
+                f"clients={self.client_pids}>")
+
+
+class Deployment:
+    """A simulated fabric hosting any number of named gRPC services."""
+
+    def __init__(self, *, seed: int = 0,
+                 default_link: LinkSpec = LinkSpec(),
+                 membership: Optional[str] = None,
+                 membership_delay: float = 0.0,
+                 heartbeat_interval: float = 0.05,
+                 suspect_after: int = 3,
+                 keep_trace: bool = True,
+                 obs: Union[bool, Recorder] = False,
+                 runtime: Optional[SimRuntime] = None):
+        """``membership`` is ``None``, ``"oracle"`` or ``"heartbeat"``,
+        shared by every service: site liveness is service-independent, so
+        one detector per node feeds every composite the node hosts.
+
+        ``obs`` turns on the observability layer exactly as on
+        :class:`~repro.core.service.ServiceCluster`: ``True`` creates an
+        enabled :class:`~repro.obs.Recorder` sharing the deployment's
+        metrics registry; pass a pre-built recorder to control it
+        yourself.  ``deployment.metrics`` always exists.
+        """
+        self.runtime = runtime or SimRuntime()
+        if obs is True:
+            recorder: Optional[Recorder] = Recorder()
+        elif isinstance(obs, Recorder):
+            recorder = obs
+        else:
+            recorder = None
+        #: Deployment-wide instrument table (``net.*``, ``handler.*``,
+        #: ``kernel.*``, ``service.<name>.*`` ...).
+        self.metrics = (recorder.metrics
+                        if recorder is not None and recorder.enabled
+                        else MetricsRegistry())
+        # Must precede node construction: composites and buses capture
+        # runtime.obs once, at attach time.
+        self.runtime.attach_obs(recorder)
+        #: The installed recorder (None when disabled).
+        self.obs = self.runtime.obs
+        self.fabric = NetworkFabric(
+            self.runtime, rand=RandomSource(seed),
+            default_link=default_link, metrics=self.metrics)
+        self.fabric.trace.keep_events = keep_trace
+
+        #: Name -> group directory; the client call path resolves through
+        #: it on every call, so rebinds take effect atomically.
+        self.registry = BindingRegistry()
+        self.services: Dict[str, Service] = {}
+        self.nodes: Dict[int, Node] = {}
+        self.demuxes: Dict[int, TypeDemux] = {}
+        #: Per-node service router (NetMsg service key -> composite).
+        self.routers: Dict[int, ServiceDemux] = {}
+
+        if membership not in (None, "oracle", "heartbeat"):
+            raise ReproError(f"unknown membership mode {membership!r}")
+        self._membership_mode = membership
+        self._membership: Any = None
+        if membership == "oracle":
+            self._membership = OracleMembership(self.fabric,
+                                                delay=membership_delay)
+        elif membership == "heartbeat":
+            self._membership = HeartbeatMembership(
+                interval=heartbeat_interval, suspect_after=suspect_after)
+
+    # ------------------------------------------------------------------
+    # Service construction
+    # ------------------------------------------------------------------
+
+    def add_service(self, name: str, spec: ServiceSpec,
+                    app_factory: Callable[..., ServerApp], *,
+                    servers: Union[int, Iterable[int]] = 3,
+                    clients: Union[int, Iterable[int]] = 1,
+                    observe: bool = False) -> Service:
+        """Wire one named service into the deployment.
+
+        ``servers``/``clients`` are either explicit pid iterables (pids
+        may be shared with other services — that node then hosts several
+        composites) or counts, in which case the lowest free pids in the
+        server (< :data:`CLIENT_BASE_PID`) or client (>=) range are
+        allocated.  The service's group is bound under ``name`` in the
+        binding registry; duplicate names are rejected.
+        """
+        server_pids = self._resolve_pids(servers, base=1,
+                                         limit=CLIENT_BASE_PID)
+        client_pids = self._resolve_pids(clients, base=CLIENT_BASE_PID,
+                                         limit=None)
+        if not server_pids:
+            raise ReproError("need at least one server")
+        for pid in server_pids:
+            if pid >= CLIENT_BASE_PID:
+                raise ConfigurationError(
+                    f"server pid {pid} collides with the client pid range "
+                    f"(client pids start at CLIENT_BASE_PID="
+                    f"{CLIENT_BASE_PID}); keep server groups smaller than "
+                    f"{CLIENT_BASE_PID} processes or raise CLIENT_BASE_PID")
+        overlap = set(server_pids) & set(client_pids)
+        if overlap:
+            raise ConfigurationError(
+                f"pids {sorted(overlap)} listed as both server and client "
+                f"of service {name!r}")
+        if name in self.services:
+            raise BindingError(f"service {name!r} already deployed")
+
+        group = Group(name, server_pids)
+        self.registry.bind(name, group)
+        svc = Service(self, name, spec, group, server_pids, client_pids,
+                      CallTraceLog(self.obs) if observe else None)
+        for pid in server_pids:
+            self._build_composite(svc, pid,
+                                  _instantiate_app(app_factory, pid))
+        for pid in client_pids:
+            self._build_composite(svc, pid, None)
+        self.services[name] = svc
+        self._connect_membership(svc)
+        return svc
+
+    def service(self, name: str) -> Service:
+        svc = self.services.get(name)
+        if svc is None:
+            raise BindingError(f"no service {name!r} in this deployment; "
+                               f"known: {sorted(self.services)}")
+        return svc
+
+    def _resolve_pids(self, spec: Union[int, Iterable[int]], *,
+                      base: int, limit: Optional[int]) -> List[int]:
+        """Explicit pid list, or auto-allocate ``spec`` free pids."""
+        if not isinstance(spec, int):
+            return list(spec)
+        pids: List[int] = []
+        candidate = base
+        while len(pids) < spec:
+            if limit is not None and candidate >= limit:
+                raise ConfigurationError(
+                    f"cannot allocate {spec} server pids below "
+                    f"CLIENT_BASE_PID={CLIENT_BASE_PID}")
+            if candidate not in self.nodes:
+                pids.append(candidate)
+            candidate += 1
+        return pids
+
+    def _ensure_node(self, pid: int) -> Node:
+        """The node for ``pid``, building its shared substrate once:
+        transport at the bottom, type demux above it, service router for
+        the gRPC traffic."""
+        node = self.nodes.get(pid)
+        if node is not None:
+            return node
+        node = Node(pid, self.runtime, self.fabric)
+        demux = TypeDemux(f"demux@{pid}")
+        router = ServiceDemux(f"services@{pid}")
+        transport = UnreliableTransport(node)
+        compose_stack(demux, transport)
+        demux.attach(NetMsg, router)
+        node.start()
+        self.nodes[pid] = node
+        self.demuxes[pid] = demux
+        self.routers[pid] = router
+        return node
+
+    def _build_composite(self, svc: Service, pid: int,
+                         app: Optional[ServerApp]) -> None:
+        node = self._ensure_node(pid)
+        grpc = GroupRPC(node, name=f"gRPC:{svc.name}@{pid}",
+                        service=svc.name)
+        grpc.add(*svc.spec.build())
+        if svc.call_log is not None:
+            grpc.add(CallObserver(svc.call_log))
+        self.routers[pid].attach(svc.name, grpc)
+        if app is not None:
+            dispatcher = ServerDispatcher(node, app, service=svc.name,
+                                          metrics=self.metrics)
+            compose_stack(dispatcher, grpc)  # only links this pair;
+            # grpc.lower stays routed through the service demux.
+            svc.dispatchers[pid] = dispatcher
+            svc.apps[pid] = app
+        svc.grpcs[pid] = grpc
+
+    def _connect_membership(self, svc: Service) -> None:
+        """Give the new service's composites membership knowledge.
+
+        Heartbeat detectors are per node and shared across services;
+        detectors created by earlier services start monitoring any nodes
+        this service introduced (:meth:`HeartbeatDetector.add_peers`).
+        """
+        if self._membership_mode == "oracle":
+            for grpc in svc.grpcs.values():
+                self._membership.connect(grpc)
+        elif self._membership_mode == "heartbeat":
+            everyone = sorted(self.nodes)
+            for detector in self._membership.detectors.values():
+                detector.add_peers(everyone)
+            for pid, grpc in svc.grpcs.items():
+                self._membership.attach(grpc, self.demuxes[pid], everyone)
+            self._membership.start_all()
+
+    # ------------------------------------------------------------------
+    # The name-resolved call path
+    # ------------------------------------------------------------------
+
+    async def call(self, client_pid: int, service: str, op: str,
+                   args: Any) -> CallResult:
+        """Issue one call to ``service`` from ``client_pid``.
+
+        The service name is resolved to its current group through the
+        binding registry *at call time* — the stub "does binding", as the
+        paper assumes — and the call goes out through the caller's
+        composite for that service.  Per-service metrics
+        (``service.<name>.calls`` / ``.status.<S>`` / ``.latency``) are
+        folded into the shared registry.
+        """
+        svc = self.service(service)
+        grpc = svc.grpcs.get(client_pid)
+        if grpc is None:
+            raise BindingError(
+                f"node {client_pid} has no composite for service "
+                f"{service!r} (its participants: "
+                f"{sorted(svc.grpcs)})")
+        group = self.registry.lookup(service)
+        start = self.runtime.now()
+        result = await grpc.call(op, args, group)
+        prefix = f"service.{service}"
+        self.metrics.counter(f"{prefix}.calls").inc()
+        self.metrics.counter(
+            f"{prefix}.status.{result.status.value}").inc()
+        self.metrics.histogram(f"{prefix}.latency").observe(
+            self.runtime.now() - start)
+        return result
+
+    def rebind(self, service: str,
+               target: Union[Group, Iterable[int]]) -> Group:
+        """Atomically repoint ``service`` at a new server group.
+
+        Subsequent :meth:`call`\\ s resolve to ``target`` (an existing
+        reconfiguration having shrunk/regrown the group).  Every member
+        of the new group must already run a composite for the service.
+        """
+        svc = self.service(service)
+        group = target if isinstance(target, Group) \
+            else Group(service, target)
+        missing = [pid for pid in group
+                   if pid not in svc.grpcs or pid not in svc.server_pids]
+        if missing:
+            raise BindingError(
+                f"cannot rebind {service!r} to {sorted(group.members)}: "
+                f"pids {missing} run no server composite for it")
+        self.registry.bind(service, group, replace=True)
+        svc.group = group
+        return group
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def trace(self):
+        return self.fabric.trace
+
+    def publish_runtime_stats(self) -> None:
+        """Snapshot the runtime's scheduler counters into ``kernel.*``
+        gauges, so they ride along in metric exports."""
+        for name, value in self.runtime.stats().items():
+            self.metrics.gauge(f"kernel.{name}").set(value)
+
+    def export_trace(self, stream) -> int:
+        """Write the recorded trace + metrics as JSONL; returns the line
+        count.  Requires the obs layer (``obs=True``)."""
+        if self.obs is None:
+            raise ReproError("observability layer is not enabled "
+                             "(construct the deployment with obs=True)")
+        self.publish_runtime_stats()
+        return to_jsonl(self.obs, stream)
+
+    def format_flame(self, trace: Optional[int] = None) -> str:
+        """Human-readable span tree(s); requires the obs layer."""
+        if self.obs is None:
+            raise ReproError("observability layer is not enabled "
+                             "(construct the deployment with obs=True)")
+        return format_flame(self.obs, trace)
+
+    # ------------------------------------------------------------------
+    # Driving the simulation
+    # ------------------------------------------------------------------
+
+    def node(self, pid: int) -> Node:
+        return self.nodes[pid]
+
+    def spawn_client(self, pid: int, coro: Coroutine, *,
+                     name: str = "") -> Any:
+        """Run client code as a task owned by node ``pid``.
+
+        The task dies if that node crashes — required for the orphan
+        experiments to be meaningful.
+        """
+        return self.nodes[pid].spawn(coro, name=name or f"client-{pid}")
+
+    def call_and_run(self, service: str, op: str, args: Any, *,
+                     client_pid: Optional[int] = None,
+                     extra_time: float = 0.0) -> CallResult:
+        """Blockingly run one named-service call from outside the kernel.
+
+        Spawns the call on the client node, drives the simulation until
+        it finishes, optionally runs ``extra_time`` more virtual seconds
+        (to let retransmissions and acks drain), and returns the result.
+        """
+        pid = client_pid if client_pid is not None \
+            else self.service(service).client
+        results: List[CallResult] = []
+
+        async def issue() -> None:
+            results.append(await self.call(pid, service, op, args))
+
+        task = self.spawn_client(pid, issue())
+
+        async def supervise() -> None:
+            try:
+                await self.runtime.join(task)
+            except TaskCancelled:
+                pass
+
+        self.runtime.run(supervise(), shutdown=False)
+        if extra_time > 0:
+            self.runtime.run_for(extra_time)
+        if not results:
+            raise TaskCancelled("client crashed before the call returned")
+        return results[0]
+
+    def run_scenario(self, coro: Coroutine, *,
+                     extra_time: float = 0.0) -> Any:
+        """Run an arbitrary scenario coroutine to completion.
+
+        The scenario runs as a plain kernel task (not owned by any node),
+        so it survives node crashes; spawn node-owned work from within it
+        via :meth:`spawn_client`.
+        """
+        result = self.runtime.run(coro, shutdown=False)
+        if extra_time > 0:
+            self.runtime.run_for(extra_time)
+        return result
+
+    def settle(self, duration: float) -> None:
+        """Advance virtual time (heartbeats, retransmits, timeouts)."""
+        self.runtime.run_for(duration)
+
+    def shutdown(self) -> None:
+        """Tear the whole deployment down, cancelling in-flight work.
+
+        Only needed when an experiment intentionally ends with calls
+        still in progress (overload studies); normal runs drain
+        naturally.
+        """
+        self.runtime.kernel.shutdown()
+
+    # ------------------------------------------------------------------
+    # Fault injection shorthands
+    # ------------------------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        self.nodes[pid].crash()
+
+    def recover(self, pid: int) -> None:
+        self.nodes[pid].recover()
+
+    def partition(self, side_a, side_b) -> None:
+        self.fabric.partition(side_a, side_b)
+
+    def heal(self) -> None:
+        self.fabric.heal()
+
+    def make_slow(self, pid: int, delay: float) -> None:
+        """Give every link toward ``pid`` a large delay (performance
+        failure)."""
+        self.fabric.set_links_to(pid, LinkSpec(delay=delay, jitter=0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Deployment services={sorted(self.services)} "
+                f"nodes={len(self.nodes)}>")

@@ -86,11 +86,16 @@ CALL_ABORTED = "CALL_ABORTED"
 class GroupRPC(CompositeProtocol):
     """The gRPC composite protocol bound to one simulated site."""
 
-    def __init__(self, node: Node, *, name: str = ""):
+    def __init__(self, node: Node, *, name: str = "", service: str = ""):
         super().__init__(name or f"gRPC@{node.pid}",
                          node.runtime, spawner=self._node_spawn)
         self.node = node
         self.my_id: ProcessId = node.pid
+        #: Name of the deployment service this composite implements.
+        #: Stamped into every transmitted wire message (the demux key for
+        #: nodes hosting several composites) and onto every span this
+        #: composite emits; ``""`` for standalone composites.
+        self.service = service
 
         # ---- shared data (Section 4.2) --------------------------------
         self.pRPC = ClientTable()
@@ -141,8 +146,10 @@ class GroupRPC(CompositeProtocol):
             # Root of this call's span tree; the context is propagated
             # into the wire messages by RPC Main (via the client record's
             # annotations) so every downstream span reconnects here.
-            span = obs.start_span("rpc.call", node=self.my_id,
-                                  attrs={"op": op})
+            attrs = {"op": op}
+            if self.service:
+                attrs["service"] = self.service
+            span = obs.start_span("rpc.call", node=self.my_id, attrs=attrs)
             obs.push_ctx(span.ctx)
             try:
                 await self.bus.trigger(CALL_FROM_USER, umsg)
@@ -167,8 +174,11 @@ class GroupRPC(CompositeProtocol):
         if obs is None:
             await self.bus.trigger(CALL_FROM_USER, umsg)
         else:
+            attrs = {"call_id": call_id}
+            if self.service:
+                attrs["service"] = self.service
             span = obs.start_span("rpc.request", node=self.my_id,
-                                  attrs={"call_id": call_id})
+                                  attrs=attrs)
             obs.push_ctx(span.ctx)
             try:
                 await self.bus.trigger(CALL_FROM_USER, umsg)
@@ -216,10 +226,12 @@ class GroupRPC(CompositeProtocol):
             # untraced rather than minting a disconnected trace.
             await self.bus.trigger(MSG_FROM_NETWORK, payload)
             return
+        attrs = {"sender": payload.sender, "call_id": payload.id}
+        if self.service:
+            attrs["service"] = self.service
         span = obs.start_span(f"msg.{payload.type.value}", node=self.my_id,
                               parent=(int(ctx[0]), int(ctx[1])),
-                              attrs={"sender": payload.sender,
-                                     "call_id": payload.id})
+                              attrs=attrs)
         obs.push_ctx(span.ctx)
         try:
             await self.bus.trigger(MSG_FROM_NETWORK, payload)
@@ -232,9 +244,14 @@ class GroupRPC(CompositeProtocol):
 
         This is the paper's ``Net.push``; ``dest`` may be a process id, a
         :class:`~repro.net.message.Group`, or an iterable of process ids.
+        Every transmission is stamped with this composite's service name
+        so the receiving node's service demux can deliver it to the
+        composite configured for the same service.
         """
         if self.lower is None:
             raise ConfigurationError(f"{self.name} has no transport below")
+        if self.service:
+            msg.service = self.service
         await self.lower.push(dest, msg)
 
     async def deliver_to_server(self, op: str, args: Any) -> Any:

@@ -96,6 +96,12 @@ class NetMsg:
     #: Client process the ordered call belongs to (ORDER messages only);
     #: together with ``inc`` and ``id`` it reconstructs the CallKey.
     client: ProcessId = -1
+    #: Name of the service this message belongs to.  Stamped by the
+    #: sending composite's ``net_push`` so a node hosting several
+    #: composites (one per service of a deployment) can demultiplex the
+    #: arrival to the right one; ``""`` on hand-built single-composite
+    #: stacks, which route by payload type alone.
+    service: str = ""
     #: Extension point: per-call data piggybacked by micro-protocols
     #: (e.g. Causal Order's dependency set) and by the observability
     #: layer, whose span context rides under

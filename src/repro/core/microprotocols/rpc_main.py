@@ -110,11 +110,14 @@ class RPCMain(GRPCMicroProtocol):
             # inline with the arrival; fall back to the context the call
             # arrived with for ordering-gated executions released from a
             # different chain.
+            attrs = {"op": record.op, "call_id": record.call_id,
+                     "client": record.client}
+            if grpc.service:
+                attrs["service"] = grpc.service
             span = obs.start_span(
                 "server.execute", node=self.my_id,
                 parent=obs.current() or record.obs_ctx,
-                attrs={"op": record.op, "call_id": record.call_id,
-                       "client": record.client})
+                attrs=attrs)
         try:
             record.args = await grpc.deliver_to_server(record.op,
                                                        record.args)

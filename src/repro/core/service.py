@@ -1,64 +1,39 @@
-"""One-call construction of a complete group RPC deployment.
+"""One-call construction of a complete single-service deployment.
 
-:class:`ServiceCluster` assembles everything the lower layers provide —
-simulated fabric, nodes, per-node protocol stacks (dispatcher / gRPC /
-demux / transport), membership service — from a
-:class:`~repro.core.config.ServiceSpec` and an application factory.  It is
-the entry point used by the examples, the integration tests, and the
-benchmark harness.
+:class:`ServiceCluster` is the historical entry point used by the
+examples, the integration tests and the benchmark harness: one
+:class:`~repro.core.config.ServiceSpec`, one server group, one
+application.  It is now a thin wrapper over a one-service
+:class:`~repro.core.deployment.Deployment` — the multi-service
+deployment plane — exposing the same flat surface as before: per-pid
+``grpcs``/``apps``/``dispatchers`` dicts, ``cluster.group``,
+``cluster.call`` &c.  New code that needs several differently-configured
+services on one fabric should use :class:`Deployment` directly.
 
 Layout: servers get process ids ``1..n_servers`` (so the Total Order
-leader is the highest-numbered server), clients get ids from 101 up.
-Every node runs the same composite configuration, as in the paper's
-model; servers additionally carry the application dispatcher on top.
+leader is the highest-numbered server), clients get ids from
+:data:`CLIENT_BASE_PID` up.  Every node runs the same composite
+configuration, as in the paper's model; servers additionally carry the
+application dispatcher on top.
 """
 
 from __future__ import annotations
 
-import inspect
-from typing import Any, Callable, Coroutine, Dict, List, Optional, Union
+from typing import Any, Callable, Coroutine, Optional, Union
 
-from repro.apps.dispatcher import ServerApp, ServerDispatcher
+from repro.apps.dispatcher import ServerApp
 from repro.core.config import ServiceSpec
-from repro.core.grpc import GroupRPC
-from repro.core.messages import CallResult, NetMsg
-from repro.core.microprotocols import CallObserver, CallTraceLog
-from repro.errors import ReproError, TaskCancelled
-from repro.membership import HeartbeatMembership, OracleMembership
-from repro.obs import MetricsRegistry, Recorder, format_flame, to_jsonl
-from repro.net import (
-    Group,
-    LinkSpec,
-    NetworkFabric,
-    Node,
-    UnreliableTransport,
-)
+from repro.core.deployment import CLIENT_BASE_PID, Deployment
+from repro.core.messages import CallResult
+from repro.errors import ConfigurationError, ReproError
+from repro.net import LinkSpec
+from repro.obs import Recorder
 from repro.runtime import SimRuntime
-from repro.sim import RandomSource
-from repro.xkernel import TypeDemux, compose_stack
 
 __all__ = ["ServiceCluster", "CLIENT_BASE_PID"]
 
-#: Client process ids start here, well above any realistic group size.
-CLIENT_BASE_PID = 101
-
-
-def _instantiate_app(factory: Callable[..., ServerApp],
-                     pid: int) -> ServerApp:
-    """Build one server app, passing the pid if the factory accepts one.
-
-    Lets callers pass a zero-argument class (``KVStore``) or a
-    pid-consuming factory (``lambda pid: ComputeApp(pid * 10.0)``).
-    """
-    try:
-        signature = inspect.signature(factory)
-        takes_pid = any(
-            p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD,
-                       p.VAR_POSITIONAL)
-            for p in signature.parameters.values())
-    except (TypeError, ValueError):  # builtins without signatures
-        takes_pid = True
-    return factory(pid) if takes_pid else factory()
+#: The wrapped service's name (also its group's name, as before).
+_SERVICE_NAME = "servers"
 
 
 class ServiceCluster:
@@ -92,98 +67,68 @@ class ServiceCluster:
         """
         if n_servers < 1:
             raise ReproError("need at least one server")
+        if n_servers >= CLIENT_BASE_PID:
+            raise ConfigurationError(
+                f"n_servers={n_servers} reaches the client pid range "
+                f"(client pids start at CLIENT_BASE_PID={CLIENT_BASE_PID}); "
+                f"server and client pids would collide")
         self.spec = spec
-        self.runtime = runtime or SimRuntime()
-        if obs is True:
-            recorder: Optional[Recorder] = Recorder()
-        elif isinstance(obs, Recorder):
-            recorder = obs
-        else:
-            recorder = None
-        #: Deployment-wide instrument table (``net.*``, ``handler.*``,
-        #: ``kernel.*`` ...); adopted from the recorder when one is on so
-        #: spans, handler histograms and network counters share a home.
-        self.metrics = (recorder.metrics
-                        if recorder is not None and recorder.enabled
-                        else MetricsRegistry())
-        # Must precede node construction: composites and buses capture
-        # runtime.obs once, at attach time.
-        self.runtime.attach_obs(recorder)
-        #: The installed recorder (None when disabled).
-        self.obs = self.runtime.obs
-        self.fabric = NetworkFabric(
-            self.runtime, rand=RandomSource(seed),
-            default_link=default_link, metrics=self.metrics)
-        self.fabric.trace.keep_events = keep_trace
+        self.deployment = Deployment(
+            seed=seed, default_link=default_link, membership=membership,
+            membership_delay=membership_delay,
+            heartbeat_interval=heartbeat_interval, keep_trace=keep_trace,
+            obs=obs, runtime=runtime)
+        self._service = self.deployment.add_service(
+            _SERVICE_NAME, spec, app_factory,
+            servers=range(1, n_servers + 1),
+            clients=range(CLIENT_BASE_PID, CLIENT_BASE_PID + n_clients),
+            observe=observe)
 
-        self.server_pids = list(range(1, n_servers + 1))
-        self.client_pids = list(range(CLIENT_BASE_PID,
-                                      CLIENT_BASE_PID + n_clients))
-        self.group = Group("servers", self.server_pids)
-
-        self.nodes: Dict[int, Node] = {}
-        self.grpcs: Dict[int, GroupRPC] = {}
-        self.dispatchers: Dict[int, ServerDispatcher] = {}
-        self.apps: Dict[int, ServerApp] = {}
-        self.demuxes: Dict[int, TypeDemux] = {}
-        #: Shared per-call timeline when ``observe=True`` (else None);
-        #: mirrored into the recorder when the obs layer is also on.
-        self.call_log = CallTraceLog(self.obs) if observe else None
-
-        for pid in self.server_pids:
-            self._build_node(pid, _instantiate_app(app_factory, pid))
-        for pid in self.client_pids:
-            self._build_node(pid, None)
-
-        self._membership = None
-        if membership == "oracle":
-            self._membership = OracleMembership(self.fabric,
-                                                delay=membership_delay)
-            for grpc in self.grpcs.values():
-                self._membership.connect(grpc)
-        elif membership == "heartbeat":
-            self._membership = HeartbeatMembership(
-                interval=heartbeat_interval)
-            everyone = self.server_pids + self.client_pids
-            for pid in everyone:
-                self._membership.attach(self.grpcs[pid],
-                                        self.demuxes[pid], everyone)
-            self._membership.start_all()
-        elif membership is not None:
-            raise ReproError(f"unknown membership mode {membership!r}")
-
-    # ------------------------------------------------------------------
-    # Construction internals
-    # ------------------------------------------------------------------
-
-    def _build_node(self, pid: int, app: Optional[ServerApp]) -> None:
-        node = Node(pid, self.runtime, self.fabric)
-        grpc = GroupRPC(node)
-        grpc.add(*self.spec.build())
-        if self.call_log is not None:
-            grpc.add(CallObserver(self.call_log))
-        demux = TypeDemux(f"demux@{pid}")
-        transport = UnreliableTransport(node)
-        compose_stack(demux, transport)
-        demux.attach(NetMsg, grpc)
-        if app is not None:
-            dispatcher = ServerDispatcher(node, app)
-            compose_stack(dispatcher, grpc)  # only links this pair;
-            # grpc.lower stays routed through the demux.
-            self.dispatchers[pid] = dispatcher
-            self.apps[pid] = app
-        node.start()
-        self.nodes[pid] = node
-        self.grpcs[pid] = grpc
-        self.demuxes[pid] = demux
+        # The historical flat surface, aliased onto the deployment's
+        # shared substrate and the single service's wiring.
+        self.runtime = self.deployment.runtime
+        self.metrics = self.deployment.metrics
+        self.obs = self.deployment.obs
+        self.fabric = self.deployment.fabric
+        self.nodes = self.deployment.nodes
+        self.demuxes = self.deployment.demuxes
+        self.server_pids = self._service.server_pids
+        self.client_pids = self._service.client_pids
+        self.grpcs = self._service.grpcs
+        self.dispatchers = self._service.dispatchers
+        self.apps = self._service.apps
+        self.call_log = self._service.call_log
+        self._membership = self.deployment._membership
 
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
 
     @property
+    def group(self):
+        """The service's current server group (tracks rebinds)."""
+        return self._service.group
+
+    @property
     def trace(self):
         return self.fabric.trace
+
+    def node(self, pid: int):
+        return self.nodes[pid]
+
+    def grpc(self, pid: int):
+        return self.grpcs[pid]
+
+    def app(self, pid: int) -> ServerApp:
+        return self.apps[pid]
+
+    def dispatcher(self, pid: int):
+        return self.dispatchers[pid]
+
+    @property
+    def client(self) -> int:
+        """The first client's pid (single-client shorthand)."""
+        return self.client_pids[0]
 
     # ------------------------------------------------------------------
     # Observability
@@ -192,41 +137,16 @@ class ServiceCluster:
     def publish_runtime_stats(self) -> None:
         """Snapshot the runtime's scheduler counters into ``kernel.*``
         gauges, so they ride along in metric exports."""
-        for name, value in self.runtime.stats().items():
-            self.metrics.gauge(f"kernel.{name}").set(value)
+        self.deployment.publish_runtime_stats()
 
     def export_trace(self, stream) -> int:
         """Write the recorded trace + metrics as JSONL; returns the line
         count.  Requires the obs layer (``obs=True``)."""
-        if self.obs is None:
-            raise ReproError("observability layer is not enabled "
-                             "(construct the cluster with obs=True)")
-        self.publish_runtime_stats()
-        return to_jsonl(self.obs, stream)
+        return self.deployment.export_trace(stream)
 
     def format_flame(self, trace: Optional[int] = None) -> str:
         """Human-readable span tree(s); requires the obs layer."""
-        if self.obs is None:
-            raise ReproError("observability layer is not enabled "
-                             "(construct the cluster with obs=True)")
-        return format_flame(self.obs, trace)
-
-    def node(self, pid: int) -> Node:
-        return self.nodes[pid]
-
-    def grpc(self, pid: int) -> GroupRPC:
-        return self.grpcs[pid]
-
-    def app(self, pid: int) -> ServerApp:
-        return self.apps[pid]
-
-    def dispatcher(self, pid: int) -> ServerDispatcher:
-        return self.dispatchers[pid]
-
-    @property
-    def client(self) -> int:
-        """The first client's pid (single-client shorthand)."""
-        return self.client_pids[0]
+        return self.deployment.format_flame(trace)
 
     # ------------------------------------------------------------------
     # Driving the simulation
@@ -239,11 +159,12 @@ class ServiceCluster:
         The task dies if that client crashes — required for the orphan
         experiments to be meaningful.
         """
-        return self.nodes[pid].spawn(coro, name=name or f"client-{pid}")
+        return self.deployment.spawn_client(pid, coro, name=name)
 
     async def call(self, client_pid: int, op: str, args: Any) -> CallResult:
         """Issue one call from ``client_pid`` (await from a client task)."""
-        return await self.grpcs[client_pid].call(op, args, self.group)
+        return await self.deployment.call(client_pid, _SERVICE_NAME, op,
+                                          args)
 
     def call_and_run(self, op: str, args: Any, *,
                      client_pid: Optional[int] = None,
@@ -254,26 +175,11 @@ class ServiceCluster:
         finishes, optionally runs ``extra_time`` more virtual seconds (to
         let retransmissions and acks drain), and returns the result.
         """
-        pid = client_pid if client_pid is not None else self.client
-        results: List[CallResult] = []
-
-        async def issue() -> None:
-            results.append(await self.call(pid, op, args))
-
-        task = self.spawn_client(pid, issue())
-
-        async def supervise() -> None:
-            try:
-                await self.runtime.join(task)
-            except TaskCancelled:
-                pass
-
-        self.runtime.run(supervise(), shutdown=False)
-        if extra_time > 0:
-            self.runtime.run_for(extra_time)
-        if not results:
-            raise TaskCancelled("client crashed before the call returned")
-        return results[0]
+        return self.deployment.call_and_run(
+            _SERVICE_NAME, op, args,
+            client_pid=client_pid if client_pid is not None
+            else self.client,
+            extra_time=extra_time)
 
     def run_scenario(self, coro: Coroutine, *,
                      extra_time: float = 0.0) -> Any:
@@ -283,41 +189,33 @@ class ServiceCluster:
         so it survives node crashes; spawn node-owned work from within it
         via :meth:`spawn_client`.
         """
-        result = self.runtime.run(coro, shutdown=False)
-        if extra_time > 0:
-            self.runtime.run_for(extra_time)
-        return result
+        return self.deployment.run_scenario(coro, extra_time=extra_time)
 
     def settle(self, duration: float) -> None:
         """Advance virtual time (heartbeats, retransmits, timeouts)."""
-        self.runtime.run_for(duration)
+        self.deployment.settle(duration)
 
     def shutdown(self) -> None:
-        """Tear the whole deployment down, cancelling in-flight work.
-
-        Only needed when an experiment intentionally ends with calls
-        still in progress (overload studies); normal runs drain
-        naturally.
-        """
-        self.runtime.kernel.shutdown()
+        """Tear the whole deployment down, cancelling in-flight work."""
+        self.deployment.shutdown()
 
     # ------------------------------------------------------------------
     # Fault injection shorthands
     # ------------------------------------------------------------------
 
     def crash(self, pid: int) -> None:
-        self.nodes[pid].crash()
+        self.deployment.crash(pid)
 
     def recover(self, pid: int) -> None:
-        self.nodes[pid].recover()
+        self.deployment.recover(pid)
 
     def partition(self, side_a, side_b) -> None:
-        self.fabric.partition(side_a, side_b)
+        self.deployment.partition(side_a, side_b)
 
     def heal(self) -> None:
-        self.fabric.heal()
+        self.deployment.heal()
 
     def make_slow(self, pid: int, delay: float) -> None:
         """Give every link toward ``pid`` a large delay (performance
         failure)."""
-        self.fabric.set_links_to(pid, LinkSpec(delay=delay, jitter=0.0))
+        self.deployment.make_slow(pid, delay)

@@ -75,6 +75,20 @@ class HeartbeatDetector(Protocol):
         """Peers currently believed alive (self always included)."""
         return ({self.node.pid} | self.peers) - self._suspected
 
+    def add_peers(self, peers: Iterable[ProcessId]) -> None:
+        """Start monitoring additional peers (deployment grew).
+
+        New peers begin with a fresh last-seen stamp so they get a full
+        ``suspect_after`` grace period before a missing heartbeat can be
+        interpreted as a failure.
+        """
+        now = self.node.runtime.now()
+        for pid in peers:
+            if pid == self.node.pid or pid in self.peers:
+                continue
+            self.peers.add(pid)
+            self._last_seen[pid] = now
+
     def is_suspected(self, pid: ProcessId) -> bool:
         return pid in self._suspected
 

@@ -61,31 +61,48 @@ class OracleMembership:
 
 
 class HeartbeatMembership:
-    """Realistic per-node membership built on heartbeat detectors."""
+    """Realistic per-node membership built on heartbeat detectors.
+
+    One detector per *node*, shared by every composite the node hosts: a
+    site's liveness is service-independent, so a node carrying several
+    differently-configured composites (a multi-service
+    :class:`~repro.core.deployment.Deployment`) sends one heartbeat
+    stream and fans each suspicion out to all of its composites.
+    """
 
     def __init__(self, *, interval: float = 0.05, suspect_after: int = 3):
         self.interval = interval
         self.suspect_after = suspect_after
         self.detectors: Dict[ProcessId, HeartbeatDetector] = {}
+        self._started: set = set()
 
     def attach(self, grpc: GroupRPC, demux: TypeDemux,
                peers: Iterable[ProcessId]) -> HeartbeatDetector:
         """Install a detector on ``grpc``'s node, routed through ``demux``.
 
-        The detector's suspicions update this node's view only; call
-        :meth:`start_all` once every node is attached.
+        If the node already carries a detector (another composite on the
+        same node attached first), it is reused: ``grpc`` just subscribes
+        to the existing suspicion stream.  The detector's suspicions
+        update this node's view only; call :meth:`start_all` once every
+        node is attached.
         """
         node = grpc.node
-        detector = HeartbeatDetector(node, peers, interval=self.interval,
-                                     suspect_after=self.suspect_after)
-        demux.attach(Heartbeat, detector)
+        detector = self.detectors.get(node.pid)
+        if detector is None:
+            detector = HeartbeatDetector(node, peers,
+                                         interval=self.interval,
+                                         suspect_after=self.suspect_after)
+            demux.attach(Heartbeat, detector)
+            self.detectors[node.pid] = detector
         grpc.set_members(set(peers) | {node.pid})
         detector.listeners.append(
             lambda pid, change: grpc.membership_change(pid, change))
-        self.detectors[node.pid] = detector
         return detector
 
     def start_all(self) -> None:
-        for detector in self.detectors.values():
-            if detector.node.up:
+        """Start every not-yet-started detector (idempotent, so services
+        added to a live deployment can call it again)."""
+        for pid, detector in self.detectors.items():
+            if pid not in self._started and detector.node.up:
                 detector.start()
+                self._started.add(pid)

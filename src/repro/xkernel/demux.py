@@ -1,21 +1,26 @@
-"""Payload-type demultiplexing above the transport.
+"""Payload demultiplexing above the transport.
 
 The x-kernel demultiplexes arriving messages to the right upper protocol;
-our reduced UPI does the same by payload type.  A :class:`TypeDemux` sits
-directly on the transport and routes each arrived payload to whichever
-upper protocol claimed its type — gRPC claims :class:`~repro.core.
-messages.NetMsg`, the heartbeat membership detector claims its
-``Heartbeat`` payloads, and so on.  Pushes from any of the uppers pass
-straight down.
+our reduced UPI does the same in two stages.  A :class:`TypeDemux` sits
+directly on the transport and routes each arrived payload by its Python
+type — gRPC traffic (:class:`~repro.core.messages.NetMsg`) one way, the
+heartbeat membership detector's ``Heartbeat`` payloads another.  When a
+node hosts *several* gRPC composites (one per named service of a
+:class:`~repro.core.deployment.Deployment`), a :class:`ServiceDemux`
+sits between the type demux and the composites and routes each ``NetMsg``
+by the service key stamped into it on transmission — the x-kernel's
+"relative protocol id" reduced to a service name.  Pushes from any of the
+uppers pass straight down through both stages.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Type
+from typing import Any, Dict, List, Optional, Type
 
+from repro.errors import ReproError
 from repro.xkernel.upi import Protocol
 
-__all__ = ["TypeDemux"]
+__all__ = ["TypeDemux", "ServiceDemux"]
 
 
 class TypeDemux(Protocol):
@@ -38,3 +43,57 @@ class TypeDemux(Protocol):
         # Unclaimed payload types are dropped silently, like a port with
         # no listener.
         return None
+
+
+class ServiceDemux(Protocol):
+    """Routes popped payloads by their ``service`` key.
+
+    Sits between a :class:`TypeDemux` and the per-service gRPC composites
+    of a node that hosts more than one.  Each composite stamps its
+    service name into every wire message it transmits
+    (:meth:`repro.core.grpc.GroupRPC.net_push`), so the receiving side
+    can hand the payload to the composite configured for that service —
+    which may run an entirely different micro-protocol stack than its
+    neighbours on the same node.
+
+    Payloads whose key matches no route fall back to the first attached
+    service (messages from hand-built stacks predating service keys), so
+    a single-service node behaves exactly as if the composite sat on the
+    type demux directly.
+    """
+
+    def __init__(self, name: str = "services"):
+        super().__init__(name)
+        self._routes: Dict[str, Protocol] = {}
+        #: Where unkeyed/unknown payloads go; defaults to the first
+        #: attached upper, assignable for explicit control.
+        self.default_upper: Optional[Protocol] = None
+
+    def attach(self, service: str, upper: Protocol) -> None:
+        """Deliver payloads stamped with ``service`` to ``upper``; also
+        wires ``upper.lower`` to this demux for pushes."""
+        if service in self._routes:
+            raise ReproError(
+                f"{self.name}: service {service!r} is already attached")
+        self._routes[service] = upper
+        upper.lower = self
+        if self.default_upper is None:
+            self.default_upper = upper
+
+    def detach(self, service: str) -> None:
+        upper = self._routes.pop(service, None)
+        if upper is self.default_upper:
+            self.default_upper = next(iter(self._routes.values()), None)
+
+    def services(self) -> List[str]:
+        return sorted(self._routes)
+
+    def route(self, service: str) -> Optional[Protocol]:
+        return self._routes.get(service)
+
+    async def pop(self, payload: Any, **kwargs: Any) -> Any:
+        upper = self._routes.get(getattr(payload, "service", ""),
+                                 self.default_upper)
+        if upper is None:
+            return None
+        return await upper.pop(payload, **kwargs)

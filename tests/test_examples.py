@@ -25,6 +25,7 @@ EXAMPLES = {
     "stub_service.py": "RPCTimeout",
     "wan_replication.py": "acceptance=ALL (cross-DC)",
     "distributed_locks.py": "0/6 runs ended split-brained",
+    "sharded_kvstore.py": "keyspace spanned over 3 shards on one fabric: OK",
 }
 
 

@@ -1,0 +1,131 @@
+"""Sharding a keyspace over independently-configured services."""
+
+import zlib
+
+import pytest
+
+from repro import Deployment, read_optimized, replicated_state_machine
+from repro.apps import KVStore, ShardedKV, ShardRouter, build_sharded_kv
+from repro.errors import ReproError
+
+
+# ---------------------------------------------------------------------------
+# ShardRouter
+# ---------------------------------------------------------------------------
+
+
+def test_router_is_deterministic_and_total():
+    router = ShardRouter(["a", "b", "c"])
+    keys = [f"k{i}" for i in range(100)]
+    first = [router.route(k) for k in keys]
+    second = [router.route(k) for k in keys]
+    assert first == second
+    assert set(first) <= {"a", "b", "c"}
+    # CRC-32 modulo the list — independent of Python hash salting.
+    assert router.shard_index("k0") == zlib.crc32(b"k0") % 3
+
+
+def test_router_spreads_keys():
+    router = ShardRouter([f"s{i}" for i in range(4)])
+    buckets = router.partition(f"key-{i}" for i in range(400))
+    assert sum(len(v) for v in buckets.values()) == 400
+    assert all(len(v) > 0 for v in buckets.values())
+
+
+def test_router_partition_groups_by_owner():
+    router = ShardRouter(["a", "b"])
+    buckets = router.partition(["x", "y", "z"])
+    for name, keys in buckets.items():
+        for key in keys:
+            assert router.route(key) == name
+
+
+def test_router_order_is_part_of_the_function():
+    # Same names, different order: the index is stable, the name is not,
+    # which is why clients must build routers from the same sequence.
+    r1, r2 = ShardRouter(["a", "b"]), ShardRouter(["b", "a"])
+    idx = r1.shard_index("x")
+    assert r2.shard_index("x") == idx
+    assert r1.route("x") == r1.services[idx]
+    assert r2.route("x") == r2.services[idx]
+
+
+def test_router_rejects_empty():
+    with pytest.raises(ReproError):
+        ShardRouter([])
+
+
+# ---------------------------------------------------------------------------
+# ShardedKV over a live deployment
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_kv_end_to_end():
+    dep = Deployment(seed=11)
+    kv = build_sharded_kv(dep, 3, spec=read_optimized(2.0),
+                          servers_per_shard=1)
+    writes = {f"key-{i}": i for i in range(12)}
+
+    async def scenario():
+        for key, value in writes.items():
+            assert (await kv.put(key, value)).ok
+        for key, value in writes.items():
+            result = await kv.get(key)
+            assert result.ok and result.args == value
+        assert await kv.keys() == sorted(writes)
+        assert (await kv.delete("key-0")).ok
+        assert (await kv.get("key-0")).args is None
+
+    dep.run_scenario(scenario())
+
+    # Each key lives only on its owning shard.
+    for name in kv.router.services:
+        svc = dep.services[name]
+        stored = set(svc.app(svc.server_pids[0]).data)
+        expected = {k for k in writes if kv.shard_of(k) == name} - {"key-0"}
+        assert stored == expected
+
+
+def test_sharded_kv_per_shard_specs():
+    dep = Deployment(seed=12)
+    kv = build_sharded_kv(
+        dep, 2,
+        specs=[replicated_state_machine(2), read_optimized(2.0)],
+        servers_per_shard=2)
+    assert dep.services["shard-0"].spec.ordering == "total"
+    assert dep.services["shard-1"].spec.ordering == "none"
+
+    async def scenario():
+        for i in range(8):
+            assert (await kv.put(f"k{i}", i)).ok
+
+    dep.run_scenario(scenario())
+    # The totally-ordered shard replicated every one of its writes.
+    strict = dep.services["shard-0"]
+    assert strict.app(strict.server_pids[0]).data == \
+        strict.app(strict.server_pids[1]).data
+
+
+def test_sharded_kv_shares_client_nodes_across_shards():
+    dep = Deployment(seed=13)
+    kv = build_sharded_kv(dep, 3, spec=read_optimized(2.0), clients=2)
+    pids = dep.services["shard-0"].client_pids
+    for name in kv.router.services:
+        assert dep.services[name].client_pids == pids
+    # A second view over the same router works from the other client.
+    other = ShardedKV(dep, pids[1], kv.router)
+
+    async def scenario():
+        assert (await kv.put("a", 1)).ok
+        result = await other.get("a")
+        assert result.ok and result.args == 1
+
+    dep.run_scenario(scenario())
+
+
+def test_build_sharded_kv_validates_arguments():
+    dep = Deployment()
+    with pytest.raises(ReproError):
+        build_sharded_kv(dep, 0)
+    with pytest.raises(ReproError):
+        build_sharded_kv(dep, 3, specs=[read_optimized()])
