@@ -1,0 +1,153 @@
+"""X15 — elastic rebalancing: ring vs modulo churn, live-resize dip.
+
+Two questions about the placement plane:
+
+1. **Churn** — when a 4-shard keyspace resizes to 5 and back, what
+   fraction of keys changes owner?  The consistent-hash ring should move
+   O(K/N) keys per step; the modulo-N baseline remaps most of the
+   keyspace (every key whose ``crc % 4`` differs from its ``crc % 5``).
+2. **Availability** — during a *live* resize (grow 4->5, shrink 5->4)
+   under a steady closed-loop workload, how many operations fail, and how
+   long does the worst op stall?  The migration protocol parks only calls
+   to moving keys during the catch-up/cutover window, so nothing fails
+   and the dip is bounded by the moving ranges, not the keyspace.
+"""
+
+import os
+
+from _common import attach, run_once, save_result
+
+from repro import Deployment, HashRing, LinkSpec, build_elastic_kv
+from repro.apps import ShardRouter
+from repro.bench import banner, render_table
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+LINK = LinkSpec(delay=0.001, jitter=0.0005)
+N_KEYS = 60 if TINY else 240
+N_OPS = 40 if TINY else 160      # steady workload ops across the resizes
+KEYS = [f"key-{i}" for i in range(N_KEYS)]
+
+
+def churn_comparison():
+    """Owner-change fraction for 4->5 and 5->4 under each router."""
+    rows = []
+    for step, (n_before, n_after) in (("grow 4->5", (4, 5)),
+                                      ("shrink 5->4", (5, 4))):
+        ring_a = HashRing([f"s{i}" for i in range(n_before)], vnodes=64)
+        ring_b = HashRing([f"s{i}" for i in range(n_after)], vnodes=64)
+        ring_moved = sum(1 for k in KEYS
+                         if ring_a.route(k) != ring_b.route(k))
+        mod_a = ShardRouter([f"s{i}" for i in range(n_before)])
+        mod_b = ShardRouter([f"s{i}" for i in range(n_after)])
+        mod_moved = sum(1 for k in KEYS
+                        if mod_a.route(k) != mod_b.route(k))
+        rows.append({"step": step,
+                     "ring_frac": ring_moved / len(KEYS),
+                     "modulo_frac": mod_moved / len(KEYS)})
+    return rows
+
+
+def live_resize():
+    """Grow 4->5 and shrink 5->4 with a workload running throughout."""
+    dep = Deployment(seed=15, default_link=LINK, keep_trace=False)
+    plane, kv = build_elastic_kv(dep, 4)
+    values = {}
+
+    async def preload():
+        for i, key in enumerate(KEYS):
+            values[key] = i
+            assert (await kv.put(key, i)).ok
+
+    dep.run_scenario(preload())
+
+    failures = []
+    stalls = []
+    done = {"workload": False}
+
+    async def workload():
+        i = 0
+        while not done["workload"]:
+            key = KEYS[i % len(KEYS)]
+            start = dep.runtime.now()
+            result = await kv.get(key)
+            stalls.append(dep.runtime.now() - start)
+            if not (result.ok and result.args == values[key]):
+                failures.append((key, result.status))
+            i += 1
+            await dep.runtime.sleep(0.002)
+
+    moved = {}
+
+    async def resize():
+        before = dep.metrics.value("placement.migration.keys_moved")
+        await plane.add_shard()                      # 4 -> 5
+        moved["grow"] = dep.metrics.value(
+            "placement.migration.keys_moved") - before
+        await dep.runtime.sleep(0.05)
+        before = dep.metrics.value("placement.migration.keys_moved")
+        await plane.remove_shard("shard-4")          # 5 -> 4
+        moved["shrink"] = dep.metrics.value(
+            "placement.migration.keys_moved") - before
+        done["workload"] = True
+
+    async def scenario():
+        work = dep.runtime.spawn(workload(), name="workload")
+        shape = dep.runtime.spawn(resize(), name="resize")
+        await dep.runtime.join(shape)
+        await dep.runtime.join(work)
+
+    dep.run_scenario(scenario(), extra_time=1.0)
+    dep.shutdown()
+    baseline = min(stalls)
+    return {"ops": len(stalls),
+            "failures": len(failures),
+            "grow_moved_frac": moved["grow"] / len(KEYS),
+            "shrink_moved_frac": moved["shrink"] / len(KEYS),
+            "parked": dep.metrics.value("placement.parked_calls"),
+            "baseline_ms": baseline * 1000,
+            "worst_stall_ms": max(stalls) * 1000}
+
+
+def test_x15_rebalancing(benchmark):
+    def experiment():
+        return {"churn": churn_comparison(), "live": live_resize()}
+
+    out = run_once(benchmark, experiment)
+    churn, live = out["churn"], out["live"]
+
+    table = render_table(
+        ["resize", "ring moved", "modulo moved"],
+        [[r["step"], f"{r['ring_frac'] * 100:.0f}%",
+          f"{r['modulo_frac'] * 100:.0f}%"] for r in churn])
+    live_table = render_table(
+        ["ops", "failures", "grow moved", "shrink moved", "parked",
+         "worst stall"],
+        [[live["ops"], live["failures"],
+          f"{live['grow_moved_frac'] * 100:.0f}%",
+          f"{live['shrink_moved_frac'] * 100:.0f}%",
+          int(live["parked"]),
+          f"{live['worst_stall_ms']:.1f}ms"]])
+    save_result("x15_rebalancing", "\n".join([
+        banner("X15 — elastic rebalancing",
+               f"{N_KEYS} keys, 4->5->4 shards, ring (64 vnodes) vs "
+               f"modulo-N, live migration under closed-loop reads"),
+        table, live_table]))
+    attach(benchmark, {
+        "ring_grow_frac": round(churn[0]["ring_frac"], 3),
+        "modulo_grow_frac": round(churn[0]["modulo_frac"], 3),
+        "live_failures": live["failures"],
+        "live_worst_stall_ms": round(live["worst_stall_ms"], 2)})
+
+    # The headline: consistent hashing moves O(K/N) keys per resize,
+    # modulo-N remaps most of the keyspace.
+    for row in churn:
+        assert row["ring_frac"] <= 0.45, row
+        assert row["modulo_frac"] >= 0.60, row
+        assert row["ring_frac"] < 0.6 * row["modulo_frac"], row
+    # The live migrations matched the ring's churn prediction and no
+    # operation failed or saw a stale value while the system reshaped.
+    assert live["failures"] == 0
+    assert live["ops"] >= 10
+    assert 0 < live["grow_moved_frac"] <= 0.45
+    assert 0 < live["shrink_moved_frac"] <= 0.45

@@ -30,9 +30,17 @@ from repro.core import (
     read_optimized,
     replicated_state_machine,
 )
+from repro.core import ReplyCache
 from repro.core.grpc import PendingCall, gather_calls
 from repro.net import Group, LinkSpec
 from repro.obs import MetricsRegistry, Recorder
+from repro.placement import (
+    ElasticKV,
+    HashRing,
+    PlacementPlane,
+    RebindDriver,
+    build_elastic_kv,
+)
 from repro.runtime import AsyncioRuntime, SimRuntime
 
 __version__ = "1.0.0"
@@ -58,5 +66,11 @@ __all__ = [
     "at_most_once",
     "read_optimized",
     "replicated_state_machine",
+    "HashRing",
+    "PlacementPlane",
+    "ElasticKV",
+    "build_elastic_kv",
+    "RebindDriver",
+    "ReplyCache",
     "__version__",
 ]

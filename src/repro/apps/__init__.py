@@ -4,21 +4,28 @@ from repro.apps.bank import BankApp
 from repro.apps.compute import ComputeApp
 from repro.apps.counter import CounterApp
 from repro.apps.dispatcher import ServerApp, ServerDispatcher
-from repro.apps.kvstore import KVStore
+from repro.apps.kvstore import KVStore, StableKVStore
 from repro.apps.locks import LockService
-from repro.apps.sharding import ShardedKV, ShardRouter, build_sharded_kv
+from repro.apps.sharding import (
+    RingRouter,
+    ShardedKV,
+    ShardRouter,
+    build_sharded_kv,
+)
 from repro.apps.workqueue import WorkQueue
 
 __all__ = [
     "ServerApp",
     "ServerDispatcher",
     "KVStore",
+    "StableKVStore",
     "CounterApp",
     "BankApp",
     "ComputeApp",
     "LockService",
     "WorkQueue",
     "ShardRouter",
+    "RingRouter",
     "ShardedKV",
     "build_sharded_kv",
 ]

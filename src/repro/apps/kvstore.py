@@ -7,6 +7,8 @@ Operations (args are dicts; all values must be plain data):
 * ``delete {key}``            -> deleted value (or None)
 * ``keys {}``                 -> sorted key list
 * ``snapshot {}``             -> full dict copy
+* ``ingest {entries}``        -> bulk load (key migration transfer)
+* ``drop_keys {keys}``        -> bulk retire (key migration cutover)
 
 State is volatile — a crash loses it — which makes the store a clean
 probe for ordering semantics: under Total Order every replica applies the
@@ -22,7 +24,7 @@ from typing import Any, Dict, List, Tuple
 
 from repro.apps.dispatcher import ServerApp
 
-__all__ = ["KVStore"]
+__all__ = ["KVStore", "StableKVStore"]
 
 
 class KVStore(ServerApp):
@@ -101,3 +103,81 @@ class KVStore(ServerApp):
     async def handle_snapshot(self, args: Dict[str, Any]) -> Dict[str, Any]:
         await self.work(self.op_delay)
         return copy.deepcopy(self.data)
+
+    # -- key-migration surface (placement plane) -------------------------
+
+    async def handle_ingest(self, args: Dict[str, Any]) -> int:
+        """Bulk-load migrated entries; returns how many were applied.
+
+        One operation regardless of entry count: a migration transfer is
+        a single (possibly ordered, exactly-once) group call, not a
+        per-key storm.
+        """
+        entries: Dict[str, Any] = args["entries"]
+        for key, value in entries.items():
+            self.data[key] = value
+            self._dirty.add(key)
+            self._log(("ingest", key, value))
+        return len(entries)
+
+    async def handle_drop_keys(self, args: Dict[str, Any]) -> int:
+        """Bulk-retire keys that migrated away; returns how many existed."""
+        dropped = 0
+        for key in args["keys"]:
+            if key in self.data:
+                del self.data[key]
+                dropped += 1
+            self._dirty.add(key)
+            self._log(("drop", key, None))
+        return dropped
+
+
+class StableKVStore(KVStore):
+    """A KV store whose acknowledged writes also live on "disk".
+
+    Every mutation is mirrored into the node's
+    :class:`~repro.stablestore.StableStore` under :data:`STABLE_PREFIX`
+    after the volatile write, so a reply implies the value is stable.  A
+    crash wipes the volatile dict as usual; recovery (and the initial
+    bind) reloads it from the stable cells.  This is what makes a shard
+    *salvageable*: the placement plane can re-home a dead shard's keys
+    by reading its stable store directly.
+    """
+
+    STABLE_PREFIX = "kv."
+
+    def bind(self, node: Any) -> None:
+        super().bind(node)
+        self._reload()
+        node.recover_listeners.append(lambda incarnation: self._reload())
+
+    def _reload(self) -> None:
+        prefix = self.STABLE_PREFIX
+        self.data = {cell[len(prefix):]: value for cell, value
+                     in self.node.stable.items_with_prefix(prefix)}
+
+    def _persist(self, key: str) -> None:
+        self.node.stable.put(self.STABLE_PREFIX + str(key),
+                             self.data[key])
+
+    async def handle_put(self, args: Dict[str, Any]) -> Any:
+        previous = await super().handle_put(args)
+        self._persist(args["key"])
+        return previous
+
+    async def handle_delete(self, args: Dict[str, Any]) -> Any:
+        value = await super().handle_delete(args)
+        self.node.stable.delete(self.STABLE_PREFIX + str(args["key"]))
+        return value
+
+    async def handle_ingest(self, args: Dict[str, Any]) -> int:
+        count = await super().handle_ingest(args)
+        for key in args["entries"]:
+            self._persist(key)
+        return count
+
+    async def handle_drop_keys(self, args: Dict[str, Any]) -> int:
+        dropped = await super().handle_drop_keys(args)
+        for key in args["keys"]:
+            self.node.stable.delete(self.STABLE_PREFIX + str(key))
+        return dropped

@@ -1,15 +1,30 @@
 """Sharding a keyspace over independently-configured services.
 
 The deployment plane hosts many named services on one fabric; this
-module spans a single logical keyspace over N of them.  A
-:class:`ShardRouter` deterministically maps each key to a service name
-(CRC-32 modulo the shard list — stable across processes and runs, unlike
-Python's salted ``hash``), and :class:`ShardedKV` is the client-side
-helper that routes ``put``/``get``/``delete`` through a
-:class:`~repro.core.deployment.Deployment`'s name-resolved call path.
-Because each shard is an ordinary named service, shards can differ in
-*semantics*, not just placement: one shard totally ordered for
-read-modify-write keys, another read-optimized, a third exactly-once.
+module spans a single logical keyspace over N of them.  Routing is
+pluggable:
+
+* :class:`RingRouter` (the default) places keys on a consistent-hash
+  ring (:class:`~repro.placement.ring.HashRing`, virtual nodes, seeded
+  placement), so growing or shrinking the shard set moves only O(K/N)
+  keys — the property the placement plane's live migration relies on;
+* :class:`ShardRouter` is the legacy CRC-32 modulo-N function, kept as
+  the baseline the rebalancing benchmark compares against (a resize
+  under modulo-N remaps nearly the whole keyspace).
+
+Both are deterministic across processes and runs (CRC-32, not Python's
+salted ``hash``), which is what lets any number of independent clients
+share one keyspace layout.  When built with a metrics registry they
+count every lookup (``placement.router.lookups``) and the per-shard
+routing distribution (``placement.router.keys_routed.<service>``), so
+benchmarks can assert where keys actually went.
+
+:class:`ShardedKV` is the client-side helper routing ``put``/``get``/
+``delete`` through a :class:`~repro.core.deployment.Deployment`'s
+name-resolved call path.  Because each shard is an ordinary named
+service, shards can differ in *semantics*, not just placement.  For
+shard sets that change while serving, use the placement plane
+(:func:`repro.placement.build_elastic_kv`) instead.
 
 :func:`build_sharded_kv` wires the whole thing: N KV services (uniform
 spec or per-shard specs), shared client nodes, and a ready router.
@@ -24,22 +39,34 @@ from repro.apps.kvstore import KVStore
 from repro.core.config import ServiceSpec
 from repro.core.messages import CallResult
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.placement.ring import HashRing
 
-__all__ = ["ShardRouter", "ShardedKV", "build_sharded_kv"]
+__all__ = ["ShardRouter", "RingRouter", "ShardedKV", "build_sharded_kv"]
 
 
 class ShardRouter:
     """Deterministic key -> service-name routing (hash modulo shards).
 
     The shard list's order is part of the routing function: two routers
-    built from the same sequence agree on every key, which is what lets
-    any number of independent clients share one keyspace layout.
+    built from the same sequence agree on every key.  This is the static
+    baseline — adding or removing a shard remaps almost every key, which
+    is why elastic deployments use :class:`RingRouter`.
     """
 
-    def __init__(self, services: Sequence[str]):
+    def __init__(self, services: Sequence[str], *,
+                 metrics: Optional[MetricsRegistry] = None):
         self.services: List[str] = list(services)
         if not self.services:
             raise ReproError("a shard router needs at least one service")
+        self._lookups = None
+        self._routed: Dict[str, Any] = {}
+        if metrics is not None:
+            self._lookups = metrics.counter("placement.router.lookups")
+            self._routed = {
+                name: metrics.counter(
+                    f"placement.router.keys_routed.{name}")
+                for name in self.services}
 
     def __len__(self) -> int:
         return len(self.services)
@@ -49,7 +76,13 @@ class ShardRouter:
 
     def route(self, key: Any) -> str:
         """The service name responsible for ``key``."""
-        return self.services[self.shard_index(key)]
+        name = self.services[self.shard_index(key)]
+        if self._lookups is not None:
+            self._lookups.inc()
+            counter = self._routed.get(name)
+            if counter is not None:
+                counter.inc()
+        return name
 
     def partition(self, keys: Iterable[Any]) -> Dict[str, List[Any]]:
         """Group ``keys`` by owning service (bulk-operation helper)."""
@@ -57,6 +90,41 @@ class ShardRouter:
         for key in keys:
             out[self.route(key)].append(key)
         return out
+
+
+class RingRouter(ShardRouter):
+    """Consistent-hash routing: the drop-in that survives resizes.
+
+    Same surface as :class:`ShardRouter` (``route``/``shard_index``/
+    ``partition``/lookup metrics), but placement comes from a seeded
+    :class:`~repro.placement.ring.HashRing`, so :meth:`add` and
+    :meth:`remove` disturb only the ranges adjacent to the changed
+    shard.  ``shard_index`` remains the position in ``services`` for
+    callers that index by shard number.
+    """
+
+    def __init__(self, services: Sequence[str], *,
+                 vnodes: int = 64, seed: int = 0,
+                 metrics: Optional[MetricsRegistry] = None):
+        super().__init__(services, metrics=metrics)
+        self._metrics = metrics
+        self.ring = HashRing(self.services, vnodes=vnodes, seed=seed)
+
+    def shard_index(self, key: Any) -> int:
+        return self.services.index(self.ring.route(str(key)))
+
+    def add(self, name: str) -> None:
+        """Start routing a share of the keyspace to ``name``."""
+        self.ring.add(name)
+        self.services.append(name)
+        if self._metrics is not None:
+            self._routed[name] = self._metrics.counter(
+                f"placement.router.keys_routed.{name}")
+
+    def remove(self, name: str) -> None:
+        """Stop routing to ``name``; its ranges fall to ring successors."""
+        self.ring.remove(name)
+        self.services.remove(name)
 
 
 class ShardedKV:
@@ -73,7 +141,7 @@ class ShardedKV:
         self.deployment = deployment
         self.client_pid = client_pid
         self.router = router if isinstance(router, ShardRouter) \
-            else ShardRouter(router)
+            else RingRouter(router)
 
     def shard_of(self, key: Any) -> str:
         return self.router.route(key)
@@ -112,6 +180,9 @@ def build_sharded_kv(deployment: Any, n_shards: int, *,
                      clients: Union[int, Sequence[int]] = 1,
                      name_prefix: str = "shard",
                      app_factory: Any = KVStore,
+                     router: str = "ring",
+                     vnodes: int = 64,
+                     seed: int = 0,
                      observe: bool = False) -> ShardedKV:
     """Deploy ``n_shards`` KV services and return a routed client.
 
@@ -119,14 +190,19 @@ def build_sharded_kv(deployment: Any, n_shards: int, *,
     (length ``n_shards``) to configure each shard's semantics
     independently.  Server pids are auto-allocated per shard; ``clients``
     (a count or explicit pids) are shared by every shard, so any of those
-    nodes can drive the whole keyspace.  Returns a :class:`ShardedKV`
-    bound to the first client; build more views over the same router for
-    the other client pids.
+    nodes can drive the whole keyspace.  ``router`` selects consistent
+    hashing (``"ring"``, the default) or the legacy modulo-N baseline
+    (``"modulo"``).  Returns a :class:`ShardedKV` bound to the first
+    client; build more views over the same router for the other client
+    pids.
     """
     if n_shards < 1:
         raise ReproError("need at least one shard")
     if specs is not None and len(specs) != n_shards:
         raise ReproError(f"got {len(specs)} specs for {n_shards} shards")
+    if router not in ("ring", "modulo"):
+        raise ReproError(f"unknown router kind {router!r}; "
+                         f"expected 'ring' or 'modulo'")
     if specs is None:
         specs = [spec if spec is not None else ServiceSpec()] * n_shards
 
@@ -142,4 +218,9 @@ def build_sharded_kv(deployment: Any, n_shards: int, *,
         if first is None:
             first = svc
         names.append(name)
-    return ShardedKV(deployment, first.client, ShardRouter(names))
+    if router == "ring":
+        routed: ShardRouter = RingRouter(names, vnodes=vnodes, seed=seed,
+                                         metrics=deployment.metrics)
+    else:
+        routed = ShardRouter(names, metrics=deployment.metrics)
+    return ShardedKV(deployment, first.client, routed)

@@ -40,6 +40,7 @@ from repro.core.messages import (
     UserOp,
 )
 from repro.core.deployment import CLIENT_BASE_PID, Deployment, Service
+from repro.core.replycache import ReplyCache
 from repro.core.service import ServiceCluster
 
 __all__ = [
@@ -73,4 +74,5 @@ __all__ = [
     "Deployment",
     "Service",
     "CLIENT_BASE_PID",
+    "ReplyCache",
 ]

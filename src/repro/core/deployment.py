@@ -57,6 +57,7 @@ from repro.errors import (
     ReproError,
     TaskCancelled,
 )
+from repro.core.replycache import ReplyCache
 from repro.membership import HeartbeatMembership, OracleMembership
 from repro.obs import MetricsRegistry, Recorder, format_flame, to_jsonl
 from repro.net import (
@@ -167,6 +168,7 @@ class Deployment:
                  suspect_after: int = 3,
                  keep_trace: bool = True,
                  obs: Union[bool, Recorder] = False,
+                 reply_cache: int = 128,
                  runtime: Optional[SimRuntime] = None):
         """``membership`` is ``None``, ``"oracle"`` or ``"heartbeat"``,
         shared by every service: site liveness is service-independent, so
@@ -204,6 +206,11 @@ class Deployment:
         #: it on every call, so rebinds take effect atomically.
         self.registry = BindingRegistry()
         self.services: Dict[str, Service] = {}
+        #: Per-service LRU of ``(client, call_id) -> CallResult``:
+        #: retried calls after a rebind are answered here without
+        #: re-execution (``reply_cache=0`` disables).
+        self.reply_caches: Dict[str, ReplyCache] = {}
+        self._reply_cache_capacity = reply_cache
         self.nodes: Dict[int, Node] = {}
         self.demuxes: Dict[int, TypeDemux] = {}
         #: Per-node service router (NetMsg service key -> composite).
@@ -269,6 +276,7 @@ class Deployment:
         for pid in client_pids:
             self._build_composite(svc, pid, None)
         self.services[name] = svc
+        self.reply_caches[name] = ReplyCache(self._reply_cache_capacity)
         self._connect_membership(svc)
         return svc
 
@@ -356,7 +364,8 @@ class Deployment:
     # ------------------------------------------------------------------
 
     async def call(self, client_pid: int, service: str, op: str,
-                   args: Any) -> CallResult:
+                   args: Any, *,
+                   retry_of: Optional[int] = None) -> CallResult:
         """Issue one call to ``service`` from ``client_pid``.
 
         The service name is resolved to its current group through the
@@ -365,8 +374,23 @@ class Deployment:
         composite for that service.  Per-service metrics
         (``service.<name>.calls`` / ``.status.<S>`` / ``.latency``) are
         folded into the shared registry.
+
+        ``retry_of`` names the call id of an earlier attempt: if that
+        attempt completed, its reply is returned straight from the
+        per-service :class:`~repro.core.replycache.ReplyCache` without
+        re-execution — the safe way to retry after a rebind has pointed
+        the name at servers that never saw the original call.
         """
         svc = self.service(service)
+        prefix = f"service.{service}"
+        cache = self.reply_caches.get(service)
+        if retry_of is not None and cache is not None:
+            cached = cache.get(client_pid, retry_of)
+            if cached is not None:
+                self.metrics.counter(
+                    f"{prefix}.reply_cache.hits").inc()
+                return cached
+            self.metrics.counter(f"{prefix}.reply_cache.misses").inc()
         grpc = svc.grpcs.get(client_pid)
         if grpc is None:
             raise BindingError(
@@ -376,13 +400,47 @@ class Deployment:
         group = self.registry.lookup(service)
         start = self.runtime.now()
         result = await grpc.call(op, args, group)
-        prefix = f"service.{service}"
         self.metrics.counter(f"{prefix}.calls").inc()
         self.metrics.counter(
             f"{prefix}.status.{result.status.value}").inc()
         self.metrics.histogram(f"{prefix}.latency").observe(
             self.runtime.now() - start)
+        if cache is not None and result.ok:
+            cache.put(client_pid, result.id, result)
+            if retry_of is not None:
+                # Future retries naming the original attempt hit too.
+                cache.put(client_pid, retry_of, result)
         return result
+
+    def watch_membership(self,
+                         watcher: Callable[[int, bool], None]) -> None:
+        """Subscribe to deployment-level membership changes.
+
+        ``watcher(pid, alive)`` fires once per state change of a site,
+        whatever the membership mode: the fabric's perfect crash/recover
+        notifications under ``None``/``"oracle"``, or the deduplicated
+        union of per-node heartbeat suspicions under ``"heartbeat"``
+        (the first node to suspect a peer triggers the callback; repeat
+        suspicions from other observers do not).  This is the hook the
+        :class:`~repro.placement.driver.RebindDriver` builds on.
+        """
+        if self._membership_mode == "heartbeat":
+            self._membership.watch(watcher)
+        else:
+            self.fabric.watch_membership(watcher)
+
+    def auto_rebind(self, *, plane: Any = None, regrow: bool = True):
+        """Drive :meth:`rebind` from the membership service.
+
+        Returns the installed :class:`~repro.placement.driver.
+        RebindDriver`: suspicion shrinks a service's bound group,
+        recovery regrows it, and — when ``plane`` is given — a shard
+        whose last server died is drained onto the surviving shards.
+        """
+        from repro.placement.driver import RebindDriver
+        driver = RebindDriver(self, plane=plane, regrow=regrow)
+        self._rebind_driver = driver
+        return driver
 
     def rebind(self, service: str,
                target: Union[Group, Iterable[int]]) -> Group:

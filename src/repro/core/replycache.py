@@ -1,0 +1,73 @@
+"""Per-service reply caching: answering retried calls across rebinds.
+
+The Unique Execution micro-protocol filters duplicates *inside one
+server group*: its ``OldResults`` table lives on the servers and dies
+with them.  After a reconfiguration — a rebind to a shrunken group, a
+key range migrated to a different shard — a client's retry can land on
+servers that never saw the original call, so the server-side filter
+cannot help.  The :class:`ReplyCache` extends the filter across
+reconfigurations by keeping a deployment-side LRU of
+``(client, call_id) -> CallResult`` per service: a retry that names the
+original call id is answered from the cache without re-executing the
+procedure anywhere.
+
+The cache only stores *completed, successful* results (a TIMEOUT is not
+a reply; retrying it must really re-issue), and it is bounded: the
+least-recently-used entry is evicted once ``capacity`` is exceeded, the
+standard answer to the paper's open question of when a stored reply may
+be discarded without an explicit client acknowledgement.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.core.messages import CallResult
+
+__all__ = ["ReplyCache"]
+
+
+class ReplyCache:
+    """A bounded LRU of ``(client_pid, call_id) -> CallResult``."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], CallResult]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, client_pid: int, call_id: int) -> Optional[CallResult]:
+        """The cached reply for a call, refreshing its recency."""
+        entry = self._entries.get((client_pid, call_id))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((client_pid, call_id))
+        self.hits += 1
+        return entry
+
+    def put(self, client_pid: int, call_id: int,
+            result: CallResult) -> None:
+        """Remember a completed reply (successful results only make
+        sense here; the caller filters)."""
+        if self.capacity == 0:
+            return
+        key = (client_pid, call_id)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ReplyCache {len(self._entries)}/{self.capacity} "
+                f"hits={self.hits} misses={self.misses}>")

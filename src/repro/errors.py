@@ -84,3 +84,11 @@ class StableStoreError(ReproError):
 
 class MembershipError(ReproError):
     """The membership service was queried for an unknown process."""
+
+
+class PlacementError(ReproError):
+    """The placement plane was misused (empty ring, unknown shard...)."""
+
+
+class MigrationError(PlacementError):
+    """A live key migration could not complete safely."""

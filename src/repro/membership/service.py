@@ -14,7 +14,7 @@ Two implementations of the membership composite the paper assumes:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.core.grpc import GroupRPC
 from repro.core.messages import MemChange
@@ -75,6 +75,13 @@ class HeartbeatMembership:
         self.suspect_after = suspect_after
         self.detectors: Dict[ProcessId, HeartbeatDetector] = {}
         self._started: set = set()
+        #: Deployment-level subscribers: ``watcher(pid, alive)``.
+        self._watchers: List[Callable[[ProcessId, bool], None]] = []
+        #: Pids some node currently suspects (the deduplication state
+        #: behind :meth:`watch`: N observers, one callback per change).
+        self._down: Set[ProcessId] = set()
+        #: Nodes whose detector already feeds :meth:`_record_change`.
+        self._recorded: Set[ProcessId] = set()
 
     def attach(self, grpc: GroupRPC, demux: TypeDemux,
                peers: Iterable[ProcessId]) -> HeartbeatDetector:
@@ -94,6 +101,8 @@ class HeartbeatMembership:
                                          suspect_after=self.suspect_after)
             demux.attach(Heartbeat, detector)
             self.detectors[node.pid] = detector
+            if self._watchers:
+                self._ensure_recording()
         grpc.set_members(set(peers) | {node.pid})
         detector.listeners.append(
             lambda pid, change: grpc.membership_change(pid, change))
@@ -106,3 +115,46 @@ class HeartbeatMembership:
             if pid not in self._started and detector.node.up:
                 detector.start()
                 self._started.add(pid)
+
+    # ------------------------------------------------------------------
+    # Deployment-level subscription (reconfiguration drivers)
+    # ------------------------------------------------------------------
+
+    def watch(self, watcher: Callable[[ProcessId, bool], None]) -> None:
+        """Subscribe to the union of every node's suspicion stream.
+
+        Per-node detectors may disagree transiently; a deployment-level
+        reconfiguration driver wants *one* notification per state
+        change, so the first node to suspect a peer fires
+        ``watcher(pid, False)`` and the first heartbeat-witnessed
+        recovery fires ``watcher(pid, True)``; echoes from other
+        observers are swallowed.
+
+        The recording listener is installed lazily, on first
+        subscription, so deployments without a reconfiguration driver
+        pay nothing (and see no extra per-detector listeners).
+        """
+        self._watchers.append(watcher)
+        self._ensure_recording()
+
+    def _ensure_recording(self) -> None:
+        # One service-level listener per detector (not per composite):
+        # feeds the deduplicated watch() stream.
+        for pid, detector in self.detectors.items():
+            if pid not in self._recorded:
+                detector.listeners.append(self._record_change)
+                self._recorded.add(pid)
+
+    def _record_change(self, pid: ProcessId, change: MemChange) -> None:
+        if change is MemChange.FAILURE:
+            if pid in self._down:
+                return
+            self._down.add(pid)
+            alive = False
+        else:
+            if pid not in self._down:
+                return
+            self._down.discard(pid)
+            alive = True
+        for watcher in list(self._watchers):
+            watcher(pid, alive)

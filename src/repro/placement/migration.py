@@ -1,0 +1,224 @@
+"""The live key-migration micro-protocol (snapshot / transfer / catch-up
+/ cutover).
+
+When the ring changes shape, the affected key ranges must travel from
+their old owner to their new one *while the system keeps serving*.  One
+:class:`KeyMigration` executes the moves of one resize in four phases,
+all through the ordinary group-RPC call path (``snapshot`` / ``ingest``
+/ ``drop_keys`` are plain operations of the shard application, so they
+inherit whatever semantics the shard's micro-protocol stack provides):
+
+1. **snapshot** — read the source shard's state and restrict it to the
+   moving keys; the snapshot is persisted to the coordinator node's
+   stable store so a coordinator crash mid-migration cannot strand a
+   half-transferred range invisibly;
+2. **transfer** — bulk-``ingest`` the snapshot into the destination.
+   Client writes still flow to the source during this warm phase;
+3. **catch-up** — with new calls to the moving keys *parked* by the
+   placement plane, re-snapshot and ship only the differences (updates
+   and deletions that raced the warm transfer);
+4. **cutover** — ``drop_keys`` on the source, so no key is ever owned by
+   two shards once the parked calls are released against the new ring.
+
+If the source shard is dead (or dies mid-phase, detected by a failed
+call), the protocol falls back to **salvage**: reading the source
+servers' stable store directly — the simulation's stand-in for mounting
+a failed site's disk.  Shards built on :class:`~repro.apps.kvstore.
+StableKVStore` persist every acknowledged write, so salvage recovers
+exactly the acknowledged state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.messages import CallResult
+
+__all__ = ["MigrationState", "ShardMove", "KeyMigration"]
+
+#: Stable-store cell prefix under which migration snapshots are parked on
+#: the coordinator node.
+SNAPSHOT_PREFIX = "placement.migration."
+
+
+class MigrationState(enum.Enum):
+    """Lifecycle of one shard-to-shard move."""
+
+    PLANNED = "PLANNED"
+    SNAPSHOT = "SNAPSHOT"
+    TRANSFER = "TRANSFER"
+    CATCHUP = "CATCHUP"
+    CUTOVER = "CUTOVER"
+    DONE = "DONE"
+
+
+@dataclass
+class ShardMove:
+    """One directed key transfer: ``keys`` travel ``source -> dest``."""
+
+    source: str
+    dest: str
+    keys: List[str]
+    state: MigrationState = MigrationState.PLANNED
+    #: Warm-phase snapshot (moving keys only), diffed at catch-up.
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+    #: Distinct keys actually shipped (warm + catch-up united).
+    moved: int = 0
+    #: True when the source was read from stable storage, not via RPC.
+    salvaged: bool = False
+
+    @property
+    def key_set(self) -> Set[str]:
+        return set(self.keys)
+
+
+class KeyMigration:
+    """Executes every :class:`ShardMove` of one ring resize."""
+
+    def __init__(self, deployment: Any, coordinator: int,
+                 moves: List[ShardMove], *, epoch: int,
+                 dead: Optional[Set[str]] = None,
+                 stable_prefix: str = ""):
+        self.deployment = deployment
+        self.coordinator = coordinator
+        self.moves = moves
+        self.epoch = epoch
+        #: Shard services known (or discovered) to be unreachable; shared
+        #: with the plane so a mid-migration death is remembered.
+        self.dead: Set[str] = dead if dead is not None else set()
+        self.metrics = deployment.metrics
+        #: Cell prefix of the shard app's stable mirror, used by salvage.
+        self.stable_prefix = stable_prefix
+
+    # ------------------------------------------------------------------
+    # Phases (driven by the placement plane)
+    # ------------------------------------------------------------------
+
+    async def warm_transfer(self) -> None:
+        """Phases 1+2 for every move: snapshot, persist, bulk-ingest.
+
+        The source keeps serving; writes racing this phase are repaired
+        by :meth:`catch_up`.
+        """
+        for move in self.moves:
+            move.state = MigrationState.SNAPSHOT
+            move.snapshot = await self._read_source(move)
+            self._persist_snapshot(move)
+            move.state = MigrationState.TRANSFER
+            if move.snapshot:
+                await self._ingest(move.dest, move.snapshot)
+
+    async def catch_up(self) -> None:
+        """Phase 3: with the moving keys parked, ship the differences."""
+        for move in self.moves:
+            move.state = MigrationState.CATCHUP
+            fresh = await self._read_source(move)
+            updates = {key: value for key, value in fresh.items()
+                       if key not in move.snapshot
+                       or move.snapshot[key] != value}
+            deletions = [key for key in move.snapshot if key not in fresh]
+            if updates:
+                await self._ingest(move.dest, updates)
+            if deletions and not move.salvaged:
+                # A salvaged read can't distinguish "deleted since the
+                # warm snapshot" from "not stably written"; keep the
+                # warm copy rather than guessing a deletion.
+                await self._call(move.dest, "drop_keys",
+                                 {"keys": deletions})
+            move.moved = len(set(move.snapshot) | set(fresh))
+
+    async def cutover(self) -> None:
+        """Phase 4: retire the moved range from every source."""
+        for move in self.moves:
+            move.state = MigrationState.CUTOVER
+            if move.source not in self.dead:
+                result = await self._call(move.source, "drop_keys",
+                                          {"keys": move.keys})
+                if not result.ok:
+                    # The source died between catch-up and cutover: its
+                    # leftover copies are unreachable through the ring,
+                    # and a later rejoin wipes them (PlacementPlane.
+                    # add_shard).  Record the death and proceed.
+                    self.dead.add(move.source)
+            self._free_snapshot(move)
+            move.state = MigrationState.DONE
+            self.metrics.counter("placement.migration.keys_moved").inc(
+                move.moved)
+
+    # ------------------------------------------------------------------
+    # Source reading: RPC when alive, stable-store salvage when not
+    # ------------------------------------------------------------------
+
+    async def _read_source(self, move: ShardMove) -> Dict[str, Any]:
+        if move.source in self.dead:
+            return self._salvage(move)
+        result = await self._call(move.source, "snapshot", {})
+        if not result.ok:
+            self.dead.add(move.source)
+            return self._salvage(move)
+        data = result.args or {}
+        return {key: data[key] for key in move.keys if key in data}
+
+    def _salvage(self, move: ShardMove) -> Dict[str, Any]:
+        """Read the moving keys off the dead source's "disk"."""
+        move.salvaged = True
+        self.metrics.counter("placement.migration.salvages").inc()
+        wanted = move.key_set
+        out: Dict[str, Any] = {}
+        prefix = self.stable_prefix
+        if not prefix:
+            return out
+        service = self.deployment.services.get(move.source)
+        if service is None:
+            return out
+        for pid in service.server_pids:
+            node = self.deployment.nodes.get(pid)
+            if node is None:
+                continue
+            for cell, value in node.stable.items_with_prefix(prefix):
+                key = cell[len(prefix):]
+                if key in wanted:
+                    out[key] = value
+        return out
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    async def _call(self, service: str, op: str,
+                    args: Dict[str, Any]) -> CallResult:
+        return await self.deployment.call(self.coordinator, service, op,
+                                          args)
+
+    async def _ingest(self, dest: str, entries: Dict[str, Any]) -> None:
+        from repro.errors import MigrationError
+        result = await self._call(dest, "ingest", {"entries": entries})
+        if not result.ok:
+            raise MigrationError(
+                f"destination shard {dest!r} rejected {len(entries)} "
+                f"migrating entries (status {result.status.value}); "
+                f"the source copy is still authoritative")
+
+    def _snapshot_cell(self, move: ShardMove) -> str:
+        return (f"{SNAPSHOT_PREFIX}{self.epoch}."
+                f"{move.source}->{move.dest}")
+
+    def _persist_snapshot(self, move: ShardMove) -> None:
+        node = self.deployment.nodes.get(self.coordinator)
+        if node is not None:
+            node.stable.put(self._snapshot_cell(move), move.snapshot)
+
+    def _free_snapshot(self, move: ShardMove) -> None:
+        node = self.deployment.nodes.get(self.coordinator)
+        if node is not None:
+            node.stable.delete(self._snapshot_cell(move))
+
+    @property
+    def moved_total(self) -> int:
+        return sum(move.moved for move in self.moves)
+
+    @property
+    def pairs(self) -> List[Tuple[str, str]]:
+        return [(move.source, move.dest) for move in self.moves]

@@ -1,0 +1,407 @@
+"""The placement plane: who owns which key, kept correct while the
+system reshapes itself.
+
+A :class:`PlacementPlane` sits between clients and a
+:class:`~repro.core.deployment.Deployment`'s named shard services.  It
+owns the :class:`~repro.placement.ring.HashRing` that maps keys to shard
+names, and every reshape — :meth:`add_shard`, :meth:`remove_shard`, or a
+:meth:`drain_dead_shard` triggered by the membership-driven
+:class:`~repro.placement.driver.RebindDriver` — runs the live
+key-migration protocol of :mod:`repro.placement.migration` so that no
+key is lost, duplicated, or served stale across the resize.
+
+Calls to keys inside a migrating range are **parked** during the
+catch-up/cutover window (an event gate keyed by the moving key set) and
+released against the new ring once cutover completes — "replayed" with
+fresh routing rather than erroring or racing the transfer.  Calls to
+every other key proceed untouched, which is what bounds the availability
+dip to the moving ranges.
+
+:class:`ElasticKV` is the client-side view (the elastic counterpart of
+:class:`~repro.apps.sharding.ShardedKV`) and :func:`build_elastic_kv`
+wires N stable-backed shard services plus a ready plane.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.apps.kvstore import StableKVStore
+from repro.core.config import ServiceSpec
+from repro.core.messages import CallResult
+from repro.errors import PlacementError
+from repro.placement.migration import KeyMigration, ShardMove
+from repro.placement.ring import HashRing, plan_moves
+
+__all__ = ["PlacementPlane", "ElasticKV", "build_elastic_kv"]
+
+
+class PlacementPlane:
+    """Owns key placement for a set of shard services of one deployment."""
+
+    def __init__(self, deployment: Any, *, vnodes: int = 64, seed: int = 0,
+                 coordinator: Optional[int] = None,
+                 drain_grace: float = 0.0):
+        self.deployment = deployment
+        self.ring = HashRing(vnodes=vnodes, seed=seed)
+        #: Bumped once per completed migration; routing-table version.
+        self.epoch = 0
+        #: Client pid issuing the migration RPCs (must participate in
+        #: every shard service); defaults to the first adopted shard's
+        #: first client.
+        self.coordinator = coordinator
+        #: Extra virtual time to let in-flight calls on the source drain
+        #: between parking and the catch-up snapshot.
+        self.drain_grace = drain_grace
+        self.metrics = deployment.metrics
+        #: Shard services known to be unreachable (RPC replaced by
+        #: stable-store salvage).
+        self.dead: Set[str] = set()
+        self._parked_keys: Set[str] = set()
+        self._gate: Any = None
+        self._mig_lock = deployment.runtime.lock()
+        #: How new shards are built when :meth:`add_shard` is called
+        #: without explicit arguments (filled by :func:`build_elastic_kv`).
+        self.defaults: Dict[str, Any] = {}
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    # Ring membership
+    # ------------------------------------------------------------------
+
+    def adopt(self, name: str) -> None:
+        """Put an already-deployed service on the ring (no migration;
+        used while assembling the initial layout)."""
+        service = self.deployment.service(name)
+        self.ring.add(name)
+        if self.coordinator is None:
+            self.coordinator = service.client_pids[0]
+        self._publish_gauges()
+
+    @property
+    def shards(self) -> List[str]:
+        return self.ring.nodes
+
+    # ------------------------------------------------------------------
+    # The routed (and parkable) call path
+    # ------------------------------------------------------------------
+
+    async def call(self, client_pid: int, key: Any, op: str,
+                   args: Dict[str, Any]) -> CallResult:
+        """Route one keyed operation through the current ring.
+
+        If ``key`` is inside a range that is being cut over right now,
+        the call parks until the migration completes, then routes against
+        the new ring — it can never observe a half-moved key.
+        """
+        key_str = str(key)
+        self.metrics.counter("placement.router.lookups").inc()
+        while self._gate is not None and key_str in self._parked_keys:
+            self.metrics.counter("placement.parked_calls").inc()
+            await self._gate.wait()
+        service = self.ring.route(key_str)
+        self.metrics.counter(
+            f"placement.router.keys_routed.{service}").inc()
+        return await self.deployment.call(client_pid, service, op, args)
+
+    # ------------------------------------------------------------------
+    # Reshaping
+    # ------------------------------------------------------------------
+
+    async def add_shard(self, name: Optional[str] = None, *,
+                        spec: Optional[ServiceSpec] = None,
+                        servers: Union[int, Iterable[int], None] = None,
+                        app_factory: Any = None) -> Any:
+        """Grow the ring by one shard, migrating its key ranges in.
+
+        Unspecified arguments fall back to the defaults recorded by
+        :func:`build_elastic_kv`.  Re-adding a previously drained or
+        removed shard reuses its deployed service; any stale pre-crash
+        state is wiped before the shard rejoins the ring, so it can never
+        resurrect keys it no longer owns.
+        """
+        defaults = self.defaults
+        if name is None:
+            prefix = defaults.get("name_prefix", "shard")
+            while f"{prefix}-{self._next_index}" in self.ring:
+                self._next_index += 1
+            name = f"{prefix}-{self._next_index}"
+            self._next_index += 1
+        if name in self.ring:
+            raise PlacementError(f"shard {name!r} is already on the ring")
+        deployment = self.deployment
+        if name in deployment.services:
+            await self._wipe(name)
+            self.dead.discard(name)
+            service = deployment.services[name]
+        else:
+            if self.coordinator is None:
+                raise PlacementError(
+                    "adopt at least one shard before growing the ring")
+            service = deployment.add_service(
+                name,
+                spec if spec is not None else defaults.get(
+                    "spec", ServiceSpec()),
+                app_factory if app_factory is not None else defaults.get(
+                    "app_factory", StableKVStore),
+                servers=servers if servers is not None else defaults.get(
+                    "servers_per_shard", 1),
+                clients=defaults.get("client_pids",
+                                     [self.coordinator]))
+        def reshape() -> HashRing:
+            if name in self.ring:
+                raise PlacementError(
+                    f"shard {name!r} is already on the ring")
+            target = self.ring.copy()
+            target.add(name)
+            return target
+
+        await self._migrate(reshape, reason=f"add:{name}")
+        return service
+
+    async def remove_shard(self, name: str) -> None:
+        """Shrink the ring by one shard, migrating its key ranges out.
+
+        The service stays deployed (its nodes may carry other services);
+        it simply no longer owns any keys.
+        """
+        if name not in self.ring:
+            raise PlacementError(f"shard {name!r} is not on the ring")
+
+        def reshape() -> Optional[HashRing]:
+            if name not in self.ring:
+                return None             # a queued drain got there first
+            if len(self.ring) == 1:
+                raise PlacementError(
+                    "cannot remove the last shard: its keys have nowhere "
+                    "to go")
+            target = self.ring.copy()
+            target.remove(name)
+            return target
+
+        await self._migrate(reshape, reason=f"remove:{name}")
+
+    async def drain_dead_shard(self, name: str) -> None:
+        """Re-home a dead shard's key ranges from its stable storage.
+
+        Called by the :class:`~repro.placement.driver.RebindDriver` when
+        every server of a shard service is suspected.  The moving keys
+        are parked for the whole migration (the source cannot serve them
+        anyway), the key list and values are salvaged from the dead
+        servers' stable store, and ownership cuts over to the survivors.
+        """
+        if name not in self.ring:
+            return
+        if len(self.ring) == 1:
+            raise PlacementError(
+                f"shard {name!r} is the only shard; nothing can absorb "
+                f"its keys")
+        self.dead.add(name)
+        self.metrics.counter("placement.drains").inc()
+
+        def reshape() -> Optional[HashRing]:
+            if name not in self.ring:
+                return None
+            target = self.ring.copy()
+            target.remove(name)
+            return target
+
+        await self._migrate(reshape, reason=f"drain:{name}",
+                            park_early=True)
+
+    # ------------------------------------------------------------------
+    # The migration driver
+    # ------------------------------------------------------------------
+
+    async def _migrate(self, reshape: Any, *, reason: str,
+                       park_early: bool = False) -> Optional[KeyMigration]:
+        runtime = self.deployment.runtime
+        async with self._mig_lock:
+            # The target ring is derived from the *current* ring only
+            # once the lock is held: a reshape that queued behind another
+            # migration must not clobber its predecessor's outcome.
+            target = reshape()
+            if target is None:
+                return None
+            started = runtime.now()
+            obs = self.deployment.obs
+            span = None
+            if obs is not None:
+                span = obs.start_span(
+                    "placement.migrate", node=self.coordinator,
+                    attrs={"reason": reason, "epoch": self.epoch})
+                obs.push_ctx(span.ctx)
+            migration = None
+            try:
+                migration = await self._run_phases(target, park_early)
+            finally:
+                if obs is not None:
+                    obs.pop_ctx()
+                    obs.end_span(span, keys_moved=(
+                        migration.moved_total if migration else 0))
+            self.metrics.counter("placement.migration.runs").inc()
+            self.metrics.histogram("placement.migration.duration").observe(
+                runtime.now() - started)
+            self._publish_gauges()
+            return migration
+
+    async def _run_phases(self, target: HashRing,
+                          park_early: bool) -> KeyMigration:
+        runtime = self.deployment.runtime
+        keys_by_shard = {}
+        for name in self.ring.nodes:
+            keys_by_shard[name] = await self._shard_keys(name)
+        moves = [ShardMove(source, dest, keys) for (source, dest), keys
+                 in plan_moves(target, keys_by_shard).items()]
+        migration = KeyMigration(
+            self.deployment, self.coordinator, moves, epoch=self.epoch,
+            dead=self.dead, stable_prefix=StableKVStore.STABLE_PREFIX)
+        moving = {key for move in moves for key in move.keys}
+        if park_early:
+            self._park(moving)
+        try:
+            await migration.warm_transfer()
+            if not park_early:
+                self._park(moving)
+            if self.drain_grace > 0:
+                await runtime.sleep(self.drain_grace)
+            await migration.catch_up()
+            await migration.cutover()
+            self.ring = target
+            self.epoch += 1
+        finally:
+            self._release()
+        return migration
+
+    async def _shard_keys(self, name: str) -> List[str]:
+        """The keys a shard currently holds (RPC, or salvage if dead)."""
+        if name not in self.dead:
+            result = await self.deployment.call(self.coordinator, name,
+                                                "keys", {})
+            if result.ok:
+                return list(result.args or [])
+            self.dead.add(name)
+        prefix = StableKVStore.STABLE_PREFIX
+        service = self.deployment.services.get(name)
+        if service is None:
+            return []
+        keys: Set[str] = set()
+        for pid in service.server_pids:
+            node = self.deployment.nodes.get(pid)
+            if node is not None:
+                keys.update(cell[len(prefix):] for cell
+                            in node.stable.keys_with_prefix(prefix))
+        return sorted(keys)
+
+    async def _wipe(self, name: str) -> None:
+        """Clear a rejoining shard's leftover state (volatile + stable)."""
+        result = await self.deployment.call(self.coordinator, name,
+                                            "keys", {})
+        leftover = list(result.args or []) if result.ok else []
+        if leftover:
+            await self.deployment.call(self.coordinator, name,
+                                       "drop_keys", {"keys": leftover})
+
+    def _park(self, keys: Set[str]) -> None:
+        self._parked_keys = set(keys)
+        self._gate = self.deployment.runtime.event()
+
+    def _release(self) -> None:
+        gate, self._gate = self._gate, None
+        self._parked_keys = set()
+        if gate is not None:
+            gate.set()
+
+    def _publish_gauges(self) -> None:
+        self.metrics.gauge("placement.ring.epoch").set(self.epoch)
+        self.metrics.gauge("placement.ring.shards").set(len(self.ring))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PlacementPlane shards={self.ring.nodes} "
+                f"epoch={self.epoch}>")
+
+
+class ElasticKV:
+    """Client view of one keyspace whose shard set can change live.
+
+    The elastic counterpart of :class:`~repro.apps.sharding.ShardedKV`:
+    same surface, but every operation routes through the placement
+    plane's ring *at call time* and participates in call parking, so the
+    view stays correct across resizes without rebuilding it.
+    """
+
+    def __init__(self, plane: PlacementPlane, client_pid: int):
+        self.plane = plane
+        self.client_pid = client_pid
+
+    def shard_of(self, key: Any) -> str:
+        return self.plane.ring.route(str(key))
+
+    async def put(self, key: Any, value: Any, **extra: Any) -> CallResult:
+        return await self.plane.call(self.client_pid, key, "put",
+                                     {"key": key, "value": value, **extra})
+
+    async def get(self, key: Any) -> CallResult:
+        return await self.plane.call(self.client_pid, key, "get",
+                                     {"key": key})
+
+    async def delete(self, key: Any) -> CallResult:
+        return await self.plane.call(self.client_pid, key, "delete",
+                                     {"key": key})
+
+    async def keys(self) -> List[str]:
+        """Union of keys across the ring's current shards (sorted)."""
+        seen: set = set()
+        for name in self.plane.ring.nodes:
+            result = await self.plane.deployment.call(
+                self.client_pid, name, "keys", {})
+            if result.ok and result.args:
+                seen.update(result.args)
+        return sorted(seen)
+
+
+def build_elastic_kv(deployment: Any, n_shards: int, *,
+                     spec: Optional[ServiceSpec] = None,
+                     servers_per_shard: int = 1,
+                     clients: Union[int, Sequence[int]] = 1,
+                     vnodes: int = 64,
+                     seed: int = 0,
+                     drain_grace: float = 0.0,
+                     name_prefix: str = "shard",
+                     app_factory: Any = StableKVStore):
+    """Deploy ``n_shards`` stable-backed KV services under a placement
+    plane; returns ``(plane, kv)``.
+
+    The default spec gives every shard exactly-once, serially-executed
+    semantics with bounded termination — bounded termination is what
+    turns a call to a dead shard into a TIMEOUT the migration machinery
+    can observe, rather than a hang.  The default application is
+    :class:`~repro.apps.kvstore.StableKVStore`, whose acknowledged
+    writes survive crashes and are therefore salvageable when a shard
+    dies mid-migration.
+    """
+    if n_shards < 1:
+        raise PlacementError("need at least one shard")
+    if spec is None:
+        spec = ServiceSpec(reliable=True, unique=True, execution="serial",
+                           bounded=2.0, acceptance=1)
+    plane = PlacementPlane(deployment, vnodes=vnodes, seed=seed,
+                           drain_grace=drain_grace)
+    first = None
+    for i in range(n_shards):
+        name = f"{name_prefix}-{i}"
+        service = deployment.add_service(
+            name, spec, app_factory, servers=servers_per_shard,
+            clients=clients if first is None else first.client_pids)
+        if first is None:
+            first = service
+        plane.adopt(name)
+    plane.defaults = {
+        "spec": spec,
+        "app_factory": app_factory,
+        "servers_per_shard": servers_per_shard,
+        "client_pids": list(first.client_pids),
+        "name_prefix": name_prefix,
+    }
+    plane._next_index = n_shards
+    return plane, ElasticKV(plane, first.client_pids[0])

@@ -89,6 +89,21 @@ class StableStore:
     def keys(self) -> List[str]:
         return list(self._cells)
 
+    def keys_with_prefix(self, prefix: str) -> List[str]:
+        """Named cells under a dotted namespace (sorted).
+
+        The placement plane salvages a dead shard's state by reading the
+        cells its application mirrored under a known prefix — the
+        simulation's stand-in for mounting a failed site's disk.
+        """
+        return sorted(k for k in self._cells if k.startswith(prefix))
+
+    def items_with_prefix(self, prefix: str) -> Iterator:
+        """``(cell, value)`` pairs under a namespace (values copied)."""
+        return iter([(k, copy.deepcopy(v))
+                     for k, v in sorted(self._cells.items())
+                     if k.startswith(prefix)])
+
     def items(self) -> Iterator:
         return iter({k: copy.deepcopy(v)
                      for k, v in self._cells.items()}.items())

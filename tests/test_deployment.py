@@ -205,6 +205,40 @@ def test_rebind_accepts_explicit_group():
     assert group.members == (2,)
 
 
+def test_rebind_with_calls_in_flight():
+    """In-flight calls complete against the group they resolved; calls
+    issued after the rebind resolve the new one.  Nothing demux-misses
+    or errors in between."""
+    dep = Deployment(seed=6)
+    dep.add_service("kv", read_optimized(5.0),
+                    lambda: KVStore(op_delay=0.4),
+                    servers=[1, 2, 3], clients=[101])
+    results = []
+
+    async def caller(i):
+        results.append(await dep.call(101, "kv", "put",
+                                      {"key": f"k{i}", "value": i}))
+
+    async def scenario():
+        tasks = [dep.runtime.spawn(caller(i), name=f"caller-{i}")
+                 for i in range(6)]
+        await dep.runtime.sleep(0.1)       # everyone mid-execution
+        dep.rebind("kv", [1, 2])
+        for i in range(6, 9):              # post-rebind traffic
+            tasks.append(dep.runtime.spawn(caller(i), name=f"caller-{i}"))
+        for task in tasks:
+            await dep.runtime.join(task)
+
+    dep.run_scenario(scenario(), extra_time=2.0)
+    assert len(results) == 9
+    assert all(r.ok for r in results)
+    # The pre-rebind writes reached the old group's members; node 3 saw
+    # none of the post-rebind traffic.
+    late = {f"k{i}" for i in range(6, 9)}
+    assert late <= set(dep.services["kv"].app(1).data)
+    assert late & set(dep.services["kv"].app(3).data) == set()
+
+
 # ---------------------------------------------------------------------------
 # Per-service observability labels
 # ---------------------------------------------------------------------------

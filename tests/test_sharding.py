@@ -5,8 +5,15 @@ import zlib
 import pytest
 
 from repro import Deployment, read_optimized, replicated_state_machine
-from repro.apps import KVStore, ShardedKV, ShardRouter, build_sharded_kv
+from repro.apps import (
+    KVStore,
+    RingRouter,
+    ShardedKV,
+    ShardRouter,
+    build_sharded_kv,
+)
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry
 
 
 # ---------------------------------------------------------------------------
@@ -53,6 +60,53 @@ def test_router_order_is_part_of_the_function():
 def test_router_rejects_empty():
     with pytest.raises(ReproError):
         ShardRouter([])
+
+
+def test_router_counts_lookups_and_per_shard_routing():
+    metrics = MetricsRegistry()
+    router = ShardRouter(["a", "b"], metrics=metrics)
+    for i in range(10):
+        router.route(f"k{i}")
+    assert metrics.value("placement.router.lookups") == 10
+    per_shard = [metrics.value(f"placement.router.keys_routed.{name}")
+                 for name in ("a", "b")]
+    assert sum(per_shard) == 10
+    assert all(count > 0 for count in per_shard)
+
+
+# ---------------------------------------------------------------------------
+# RingRouter: the consistent-hash drop-in
+# ---------------------------------------------------------------------------
+
+
+def test_ring_router_same_surface_different_placement():
+    ring = RingRouter(["a", "b", "c"], seed=5)
+    keys = [f"k{i}" for i in range(100)]
+    assert [ring.route(k) for k in keys] == [ring.route(k) for k in keys]
+    for key in keys:
+        assert ring.route(key) == ring.services[ring.shard_index(key)]
+    buckets = ring.partition(keys)
+    assert sum(len(v) for v in buckets.values()) == 100
+
+
+def test_ring_router_resize_moves_few_keys():
+    metrics = MetricsRegistry()
+    ring = RingRouter(["a", "b", "c"], seed=5, metrics=metrics)
+    keys = [f"k{i}" for i in range(200)]
+    before = {k: ring.route(k) for k in keys}
+
+    ring.add("d")
+    after = {k: ring.route(k) for k in keys}
+    moved = [k for k in keys if before[k] != after[k]]
+    # Every moved key went to the newcomer, and only O(K/N) of them did
+    # — the modulo-N baseline would remap ~3/4 of the keyspace here.
+    assert all(after[k] == "d" for k in moved)
+    assert 0 < len(moved) <= len(keys) * 0.45
+    # The newcomer's routing counter was registered on the fly.
+    assert metrics.value("placement.router.keys_routed.d") > 0
+
+    ring.remove("d")
+    assert {k: ring.route(k) for k in keys} == before
 
 
 # ---------------------------------------------------------------------------
@@ -129,3 +183,26 @@ def test_build_sharded_kv_validates_arguments():
         build_sharded_kv(dep, 0)
     with pytest.raises(ReproError):
         build_sharded_kv(dep, 3, specs=[read_optimized()])
+    with pytest.raises(ReproError):
+        build_sharded_kv(dep, 3, router="rendezvous")
+
+
+def test_build_sharded_kv_router_selection():
+    dep = Deployment(seed=14)
+    kv = build_sharded_kv(dep, 2, spec=read_optimized(2.0))
+    assert isinstance(kv.router, RingRouter)          # ring is the default
+
+    dep2 = Deployment(seed=14)
+    legacy = build_sharded_kv(dep2, 2, spec=read_optimized(2.0),
+                              router="modulo")
+    assert isinstance(legacy.router, ShardRouter)
+    assert not isinstance(legacy.router, RingRouter)
+
+    async def scenario():
+        assert (await legacy.put("x", 1)).ok
+        result = await legacy.get("x")
+        assert result.ok and result.args == 1
+
+    dep2.run_scenario(scenario())
+    # Both router kinds feed the shared lookup counter.
+    assert dep2.metrics.value("placement.router.lookups") >= 2
