@@ -149,7 +149,12 @@ class StableKVStore(KVStore):
     def bind(self, node: Any) -> None:
         super().bind(node)
         self._reload()
-        node.recover_listeners.append(lambda incarnation: self._reload())
+        # Re-binding must not stack duplicate listeners (each would
+        # re-run _reload on every recovery).
+        if getattr(self, "_recover_hooked", None) is not node:
+            node.recover_listeners.append(
+                lambda incarnation: self._reload())
+            self._recover_hooked = node
 
     def _reload(self) -> None:
         prefix = self.STABLE_PREFIX

@@ -14,11 +14,14 @@ inherit whatever semantics the shard's micro-protocol stack provides):
    half-transferred range invisibly;
 2. **transfer** — bulk-``ingest`` the snapshot into the destination.
    Client writes still flow to the source during this warm phase;
-3. **catch-up** — with new calls to the moving keys *parked* by the
-   placement plane, re-snapshot and ship only the differences (updates
-   and deletions that raced the warm transfer);
-4. **cutover** — ``drop_keys`` on the source, so no key is ever owned by
-   two shards once the parked calls are released against the new ring.
+3. **catch-up** — with the moving *ranges* parked by the placement
+   plane, re-list every source shard **in full** and ship every key
+   whose owner changes under the target ring: updates and deletions
+   that raced the warm transfer, but also keys *created* after the
+   plan was drawn, which the frozen move list cannot know about;
+4. **cutover** — ``drop_keys`` on the source (the recomputed key set,
+   not the planned one), so no key is ever owned by two shards once
+   the parked calls are released against the new ring.
 
 If the source shard is dead (or dies mid-phase, detected by a failed
 call), the protocol falls back to **salvage**: reading the source
@@ -80,7 +83,9 @@ class KeyMigration:
     def __init__(self, deployment: Any, coordinator: int,
                  moves: List[ShardMove], *, epoch: int,
                  dead: Optional[Set[str]] = None,
-                 stable_prefix: str = ""):
+                 stable_prefix: str = "",
+                 target: Any = None,
+                 sources: Optional[List[str]] = None):
         self.deployment = deployment
         self.coordinator = coordinator
         self.moves = moves
@@ -91,6 +96,16 @@ class KeyMigration:
         self.metrics = deployment.metrics
         #: Cell prefix of the shard app's stable mirror, used by salvage.
         self.stable_prefix = stable_prefix
+        #: Target :class:`~repro.placement.ring.HashRing`.  When given,
+        #: catch-up re-lists every source in full and migrates *any* key
+        #: whose owner changes under it — including keys created after
+        #: the plan was drawn.  Without it (phases driven by hand) the
+        #: protocol is restricted to the planned key sets.
+        self.target = target
+        #: Every shard that may hold departing keys; defaults to the
+        #: planned sources.
+        self.sources: List[str] = (list(sources) if sources is not None
+                                   else sorted({m.source for m in moves}))
 
     # ------------------------------------------------------------------
     # Phases (driven by the placement plane)
@@ -111,23 +126,63 @@ class KeyMigration:
                 await self._ingest(move.dest, move.snapshot)
 
     async def catch_up(self) -> None:
-        """Phase 3: with the moving keys parked, ship the differences."""
+        """Phase 3: with the moving ranges parked, ship the differences.
+
+        Each source is re-listed **in full** (not restricted to the
+        planned keys) and every key whose owner differs under the target
+        ring departs: updates and deletions that raced the warm
+        transfer, plus keys created during the warm phase that the
+        frozen plan never saw.  Departures to a destination with no
+        planned move get a fresh :class:`ShardMove` so cutover retires
+        them from the source too.
+        """
+        by_source: Dict[str, List[ShardMove]] = {}
         for move in self.moves:
             move.state = MigrationState.CATCHUP
-            fresh = await self._read_source(move)
-            updates = {key: value for key, value in fresh.items()
-                       if key not in move.snapshot
-                       or move.snapshot[key] != value}
-            deletions = [key for key in move.snapshot if key not in fresh]
-            if updates:
-                await self._ingest(move.dest, updates)
-            if deletions and not move.salvaged:
-                # A salvaged read can't distinguish "deleted since the
-                # warm snapshot" from "not stably written"; keep the
-                # warm copy rather than guessing a deletion.
-                await self._call(move.dest, "drop_keys",
-                                 {"keys": deletions})
-            move.moved = len(set(move.snapshot) | set(fresh))
+            by_source.setdefault(move.source, []).append(move)
+        for source in self.sources:
+            moves = by_source.get(source, [])
+            if not moves and self.target is None:
+                continue
+            fresh, salvaged = await self._read_full(source)
+            departing: Dict[str, Dict[str, Any]] = {}
+            if self.target is not None:
+                for key, value in fresh.items():
+                    dest = self.target.route(key)
+                    if dest != source:
+                        departing.setdefault(dest, {})[key] = value
+            else:
+                for move in moves:
+                    departing[move.dest] = {
+                        key: fresh[key] for key in move.keys
+                        if key in fresh}
+            for move in moves:
+                entries = departing.pop(move.dest, {})
+                updates = {key: value for key, value in entries.items()
+                           if key not in move.snapshot
+                           or move.snapshot[key] != value}
+                deletions = [key for key in move.snapshot
+                             if key not in fresh]
+                if updates:
+                    await self._ingest(move.dest, updates)
+                if deletions and not salvaged:
+                    # A salvaged read can't distinguish "deleted since
+                    # the warm snapshot" from "not stably written"; keep
+                    # the warm copy rather than guessing a deletion.
+                    await self._call(move.dest, "drop_keys",
+                                     {"keys": deletions})
+                move.salvaged = move.salvaged or salvaged
+                move.keys = sorted(move.key_set | set(entries))
+                move.moved = len(set(move.snapshot) | set(entries))
+            for dest, entries in sorted(departing.items()):
+                if not entries:
+                    continue
+                move = ShardMove(source, dest, sorted(entries))
+                move.state = MigrationState.CATCHUP
+                move.salvaged = salvaged
+                await self._ingest(dest, entries)
+                move.moved = len(entries)
+                self.moves.append(move)
 
     async def cutover(self) -> None:
         """Phase 4: retire the moved range from every source."""
@@ -152,25 +207,30 @@ class KeyMigration:
     # ------------------------------------------------------------------
 
     async def _read_source(self, move: ShardMove) -> Dict[str, Any]:
-        if move.source in self.dead:
-            return self._salvage(move)
-        result = await self._call(move.source, "snapshot", {})
-        if not result.ok:
-            self.dead.add(move.source)
-            return self._salvage(move)
-        data = result.args or {}
+        """Warm-phase read of one move's planned keys."""
+        data, salvaged = await self._read_full(move.source)
+        move.salvaged = move.salvaged or salvaged
         return {key: data[key] for key in move.keys if key in data}
 
-    def _salvage(self, move: ShardMove) -> Dict[str, Any]:
-        """Read the moving keys off the dead source's "disk"."""
-        move.salvaged = True
+    async def _read_full(self, source: str) -> Tuple[Dict[str, Any], bool]:
+        """One source's complete current state and whether it came from
+        stable-store salvage rather than RPC."""
+        if source in self.dead:
+            return self._salvage(source), True
+        result = await self._call(source, "snapshot", {})
+        if not result.ok:
+            self.dead.add(source)
+            return self._salvage(source), True
+        return dict(result.args or {}), False
+
+    def _salvage(self, source: str) -> Dict[str, Any]:
+        """Read everything off the dead source's "disk"."""
         self.metrics.counter("placement.migration.salvages").inc()
-        wanted = move.key_set
         out: Dict[str, Any] = {}
         prefix = self.stable_prefix
         if not prefix:
             return out
-        service = self.deployment.services.get(move.source)
+        service = self.deployment.services.get(source)
         if service is None:
             return out
         for pid in service.server_pids:
@@ -178,9 +238,7 @@ class KeyMigration:
             if node is None:
                 continue
             for cell, value in node.stable.items_with_prefix(prefix):
-                key = cell[len(prefix):]
-                if key in wanted:
-                    out[key] = value
+                out[cell[len(prefix):]] = value
         return out
 
     # ------------------------------------------------------------------

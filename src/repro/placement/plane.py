@@ -11,11 +11,15 @@ key-migration protocol of :mod:`repro.placement.migration` so that no
 key is lost, duplicated, or served stale across the resize.
 
 Calls to keys inside a migrating range are **parked** during the
-catch-up/cutover window (an event gate keyed by the moving key set) and
-released against the new ring once cutover completes — "replayed" with
-fresh routing rather than erroring or racing the transfer.  Calls to
-every other key proceed untouched, which is what bounds the availability
-dip to the moving ranges.
+catch-up/cutover window (an event gate keyed by *ownership change* —
+any key, existing or not yet created, whose owner differs between the
+old and target ring) and released against the new ring once cutover
+completes — "replayed" with fresh routing rather than erroring or
+racing the transfer.  Calls to every other key proceed untouched, which
+is what bounds the availability dip to the moving ranges.  Before the
+catch-up snapshot is taken, the plane waits for in-flight calls that
+already passed the gate to drain, so an acknowledged write can never
+slip in between the re-snapshot and the cutover drop.
 
 :class:`ElasticKV` is the client-side view (the elastic counterpart of
 :class:`~repro.apps.sharding.ShardedKV`) and :func:`build_elastic_kv`
@@ -50,15 +54,23 @@ class PlacementPlane:
         #: every shard service); defaults to the first adopted shard's
         #: first client.
         self.coordinator = coordinator
-        #: Extra virtual time to let in-flight calls on the source drain
-        #: between parking and the catch-up snapshot.
+        #: Extra virtual settling time between parking and the catch-up
+        #: snapshot.  In-flight calls that passed the park gate are
+        #: tracked and drained explicitly, so correctness does not
+        #: depend on this knob; it only widens the quiet window.
         self.drain_grace = drain_grace
         self.metrics = deployment.metrics
         #: Shard services known to be unreachable (RPC replaced by
         #: stable-store salvage).
         self.dead: Set[str] = set()
-        self._parked_keys: Set[str] = set()
+        #: Predicate over key strings: True while calls to that key must
+        #: park (None when no migration is in its parked window).
+        self._park_pred: Any = None
         self._gate: Any = None
+        #: Routed calls currently executing, counted per key, so a park
+        #: can wait for calls that passed the gate before it closed.
+        self._inflight: Dict[str, int] = {}
+        self._drain_waiter: Any = None
         self._mig_lock = deployment.runtime.lock()
         #: How new shards are built when :meth:`add_shard` is called
         #: without explicit arguments (filled by :func:`build_elastic_kv`).
@@ -96,13 +108,23 @@ class PlacementPlane:
         """
         key_str = str(key)
         self.metrics.counter("placement.router.lookups").inc()
-        while self._gate is not None and key_str in self._parked_keys:
+        while self._gate is not None and self._park_pred(key_str):
             self.metrics.counter("placement.parked_calls").inc()
             await self._gate.wait()
         service = self.ring.route(key_str)
         self.metrics.counter(
             f"placement.router.keys_routed.{service}").inc()
-        return await self.deployment.call(client_pid, service, op, args)
+        self._inflight[key_str] = self._inflight.get(key_str, 0) + 1
+        try:
+            return await self.deployment.call(client_pid, service, op,
+                                              args)
+        finally:
+            remaining = self._inflight[key_str] - 1
+            if remaining:
+                self._inflight[key_str] = remaining
+            else:
+                del self._inflight[key_str]
+            self._notify_drained()
 
     # ------------------------------------------------------------------
     # Reshaping
@@ -255,14 +277,23 @@ class PlacementPlane:
                  in plan_moves(target, keys_by_shard).items()]
         migration = KeyMigration(
             self.deployment, self.coordinator, moves, epoch=self.epoch,
-            dead=self.dead, stable_prefix=StableKVStore.STABLE_PREFIX)
-        moving = {key for move in moves for key in move.keys}
+            dead=self.dead, stable_prefix=StableKVStore.STABLE_PREFIX,
+            target=target, sources=self.ring.nodes)
+        # Park by ownership change, not by the enumerated plan: a key
+        # created during the migration still parks if its range moves.
+        old = self.ring
+
+        def moving(key: str) -> bool:
+            return old.route(key) != target.route(key)
+
         if park_early:
             self._park(moving)
+            await self._drain_inflight()
         try:
             await migration.warm_transfer()
             if not park_early:
                 self._park(moving)
+                await self._drain_inflight()
             if self.drain_grace > 0:
                 await runtime.sleep(self.drain_grace)
             await migration.catch_up()
@@ -294,21 +325,65 @@ class PlacementPlane:
         return sorted(keys)
 
     async def _wipe(self, name: str) -> None:
-        """Clear a rejoining shard's leftover state (volatile + stable)."""
+        """Clear a rejoining shard's leftover state (volatile + stable).
+
+        When the shard's servers cannot be reached (e.g. still down),
+        their stable cells are scrubbed directly — a failed RPC must not
+        be read as "nothing to wipe", or a later recovery would reload
+        the pre-crash cells and resurrect keys the shard no longer owns.
+        """
         result = await self.deployment.call(self.coordinator, name,
                                             "keys", {})
-        leftover = list(result.args or []) if result.ok else []
-        if leftover:
-            await self.deployment.call(self.coordinator, name,
-                                       "drop_keys", {"keys": leftover})
+        if result.ok:
+            leftover = list(result.args or [])
+            if leftover:
+                await self.deployment.call(self.coordinator, name,
+                                           "drop_keys",
+                                           {"keys": leftover})
+            return
+        prefix = StableKVStore.STABLE_PREFIX
+        service = self.deployment.services.get(name)
+        if service is None:
+            return
+        for pid in service.server_pids:
+            node = self.deployment.nodes.get(pid)
+            if node is None:
+                continue
+            for cell in list(node.stable.keys_with_prefix(prefix)):
+                node.stable.delete(cell)
 
-    def _park(self, keys: Set[str]) -> None:
-        self._parked_keys = set(keys)
+    def _park(self, keys: Any) -> None:
+        """Close the gate: ``keys`` is a set of key strings or a
+        predicate over them (the latter covers whole hash ranges, so
+        keys that do not exist yet park too)."""
+        if callable(keys):
+            self._park_pred = keys
+        else:
+            keyset = set(keys)
+            self._park_pred = keyset.__contains__
         self._gate = self.deployment.runtime.event()
+
+    async def _drain_inflight(self) -> None:
+        """Wait until no in-flight routed call still targets a parked
+        key — calls that passed the gate before it closed must land on
+        the source before the catch-up snapshot is taken."""
+        while self._park_pred is not None and any(
+                self._park_pred(key) for key in self._inflight):
+            self._drain_waiter = self.deployment.runtime.event()
+            await self._drain_waiter.wait()
+
+    def _notify_drained(self) -> None:
+        waiter = self._drain_waiter
+        if (waiter is not None and self._park_pred is not None
+                and not any(self._park_pred(key)
+                            for key in self._inflight)):
+            self._drain_waiter = None
+            waiter.set()
 
     def _release(self) -> None:
         gate, self._gate = self._gate, None
-        self._parked_keys = set()
+        self._park_pred = None
+        self._drain_waiter = None
         if gate is not None:
             gate.set()
 

@@ -15,7 +15,7 @@ import pytest
 
 from repro import Deployment, HashRing, ServiceSpec, build_elastic_kv
 from repro.apps import StableKVStore
-from repro.errors import PlacementError
+from repro.errors import MigrationError, PlacementError
 from repro.placement import KeyMigration, MigrationState, ShardMove
 from repro.placement.ring import plan_moves
 
@@ -339,6 +339,160 @@ def test_catch_up_ships_racing_writes_and_deletes():
         "placement.migration.") == []
 
 
+def test_catch_up_ships_keys_created_after_planning():
+    """A key born during the warm phase is unknown to the frozen move
+    plan; catch-up must still migrate it (and cutover must drop it)."""
+    dep = Deployment(seed=38)
+    dep.add_service("src", ELASTIC_SPEC, StableKVStore,
+                    servers=[1], clients=[101])
+    dep.add_service("dst", ELASTIC_SPEC, StableKVStore,
+                    servers=[2], clients=[101])
+
+    async def seed():
+        for key, value in (("k1", 1), ("k2", 2)):
+            assert (await dep.call(101, "src", "put",
+                                   {"key": key, "value": value})).ok
+
+    dep.run_scenario(seed())
+    target = HashRing(["dst"])           # everything departs src
+    move = ShardMove("src", "dst", ["k1", "k2"])
+    migration = KeyMigration(dep, 101, [move], epoch=0,
+                             stable_prefix=StableKVStore.STABLE_PREFIX,
+                             target=target, sources=["src"])
+
+    async def run():
+        await migration.warm_transfer()
+        assert (await dep.call(101, "src", "put",
+                               {"key": "k-new", "value": 42})).ok
+        await migration.catch_up()
+        await migration.cutover()
+
+    dep.run_scenario(run())
+    assert dep.services["dst"].app(2).data == {"k1": 1, "k2": 2,
+                                               "k-new": 42}
+    assert dep.services["src"].app(1).data == {}
+    assert "k-new" in move.keys          # cutover dropped the real set
+
+
+def test_unplanned_departures_get_their_own_move():
+    """A source with no planned move still sheds keys created during
+    the migration whose range belongs elsewhere under the target ring."""
+    dep = Deployment(seed=39)
+    dep.add_service("src", ELASTIC_SPEC, StableKVStore,
+                    servers=[1], clients=[101])
+    dep.add_service("dst", ELASTIC_SPEC, StableKVStore,
+                    servers=[2], clients=[101])
+    migration = KeyMigration(dep, 101, [], epoch=0,
+                             stable_prefix=StableKVStore.STABLE_PREFIX,
+                             target=HashRing(["dst"]), sources=["src"])
+
+    async def run():
+        await migration.warm_transfer()  # no planned moves: a no-op
+        assert (await dep.call(101, "src", "put",
+                               {"key": "late", "value": "v"})).ok
+        await migration.catch_up()
+        await migration.cutover()
+
+    dep.run_scenario(run())
+    assert dep.services["dst"].app(2).data == {"late": "v"}
+    assert dep.services["src"].app(1).data == {}
+    assert [(m.source, m.dest) for m in migration.moves] == [("src",
+                                                              "dst")]
+
+
+def test_keys_created_during_resize_are_not_lost():
+    """The high-severity review scenario: puts that create brand-new
+    keys while a grow migration runs must all be readable afterward."""
+    dep = Deployment(seed=37)
+    plane, kv = build_elastic_kv(dep, 3)
+    write_keys(dep, kv, 10)
+    acked = {}
+
+    async def workload():
+        for i in range(40):
+            key = f"new-{i}"
+            result = await kv.put(key, i)
+            if result.ok:
+                acked[key] = i
+            await dep.runtime.sleep(0.005)
+
+    async def scenario():
+        work = dep.runtime.spawn(workload(), name="workload")
+        await dep.runtime.sleep(0.01)
+        await plane.add_shard()
+        await dep.runtime.join(work)
+
+    dep.run_scenario(scenario(), extra_time=1.0)
+    assert acked, "the workload never got a write through"
+
+    async def read():
+        for key, value in acked.items():
+            result = await kv.get(key)
+            assert result.ok and result.args == value, key
+
+    dep.run_scenario(read())
+    assert_single_ownership(dep, plane, acked)
+
+
+def test_park_waits_for_inflight_calls_to_drain():
+    """A call that passed the gate before parking must land before the
+    catch-up snapshot: _drain_inflight blocks until it completes."""
+    dep = Deployment(seed=35)
+    plane, kv = build_elastic_kv(dep, 2)
+    write_keys(dep, kv, 4)
+    key = "key-0"
+    order = []
+
+    async def slow_put():
+        order.append("put-start")
+        result = await kv.put(key, "late", delay=0.3)
+        order.append("put-done")
+        return result
+
+    async def scenario():
+        task = dep.runtime.spawn(slow_put(), name="slow-put")
+        await dep.runtime.sleep(0.05)     # in flight, gate still open
+        plane._park({key})
+        await plane._drain_inflight()
+        order.append("drained")
+        plane._release()
+        assert (await dep.runtime.join(task)).ok
+
+    dep.run_scenario(scenario())
+    assert order == ["put-start", "put-done", "drained"]
+
+
+def test_slow_write_racing_a_resize_is_never_dropped():
+    """End-to-end version: an acknowledged slow put issued just before
+    a shrink must survive the cutover's drop_keys."""
+    dep = Deployment(seed=40)
+    plane, kv = build_elastic_kv(dep, 3)
+    writes = write_keys(dep, kv, 12)
+    victim_key = next(k for k in sorted(writes)
+                      if plane.ring.route(k) == "shard-1")
+    results = []
+
+    async def slow_put():
+        results.append(await kv.put(victim_key, "late", delay=0.4))
+
+    async def scenario():
+        task = dep.runtime.spawn(slow_put(), name="slow-put")
+        await dep.runtime.sleep(0.01)
+        await plane.remove_shard("shard-1")
+        await dep.runtime.join(task)
+
+    dep.run_scenario(scenario(), extra_time=1.0)
+    assert results and results[0].ok
+
+    async def read():
+        result = await kv.get(victim_key)
+        assert result.ok and result.args == "late"
+
+    dep.run_scenario(read())
+    writes[victim_key] = "late"
+    assert_single_ownership(dep, plane, writes)
+
+
 def test_drain_salvages_a_dead_shard_from_stable_store():
     dep = Deployment(seed=27)
     plane, kv = build_elastic_kv(dep, 2)
@@ -386,6 +540,56 @@ def test_rejoining_shard_cannot_resurrect_stale_keys():
 
     dep.run_scenario(read())
     assert_single_ownership(dep, plane, writes)
+
+
+def test_rejoin_while_down_scrubs_stale_stable_state():
+    """add_shard on a shard whose servers are still down must scrub its
+    stable cells directly (the wipe RPC fails); a later recovery cannot
+    resurrect pre-crash keys."""
+    dep = Deployment(seed=41)
+    plane, kv = build_elastic_kv(dep, 2)
+    writes = write_keys(dep, kv, 20)
+    victim = dep.services["shard-1"]
+    pid = victim.server_pids[0]
+    stale = next(k for k in sorted(writes)
+                 if plane.ring.route(k) == "shard-1")
+    dep.crash(pid)
+    dep.run_scenario(plane.drain_dead_shard("shard-1"))
+
+    async def overwrite():
+        assert (await kv.put(stale, "fresh")).ok
+
+    dep.run_scenario(overwrite())
+
+    async def rejoin():
+        # Still down: migrating ranges back must fail loudly, but only
+        # after the stale stable cells were scrubbed.
+        with pytest.raises(MigrationError):
+            await plane.add_shard("shard-1")
+
+    dep.run_scenario(rejoin())
+    node = dep.nodes[pid]
+    assert node.stable.keys_with_prefix(StableKVStore.STABLE_PREFIX) == []
+    dep.recover(pid)
+    assert victim.app(pid).data == {}        # nothing resurrected
+
+    async def read():
+        result = await kv.get(stale)
+        assert result.ok and result.args == "fresh"
+
+    dep.run_scenario(read())
+
+
+def test_stable_kvstore_rebind_does_not_stack_recover_listeners():
+    dep = Deployment(seed=42)
+    svc = dep.add_service("kv", ELASTIC_SPEC, StableKVStore,
+                          servers=[1], clients=[101])
+    node = dep.nodes[1]
+    app = svc.app(1)
+    before = len(node.recover_listeners)
+    app.bind(node)
+    app.bind(node)
+    assert len(node.recover_listeners) == before
 
 
 # ---------------------------------------------------------------------------

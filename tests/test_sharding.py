@@ -89,6 +89,26 @@ def test_ring_router_same_surface_different_placement():
     assert sum(len(v) for v in buckets.values()) == 100
 
 
+def test_partition_does_not_count_lookup_metrics():
+    # Bulk planning must not inflate the per-call routing counters that
+    # the rebalancing benchmarks assert on.
+    for router in (ShardRouter(["a", "b"], metrics=MetricsRegistry()),
+                   RingRouter(["a", "b"], metrics=MetricsRegistry())):
+        router.partition([f"k{i}" for i in range(20)])
+        assert router._lookups.value == 0
+        router.route("k0")
+        assert router._lookups.value == 1
+
+
+def test_ring_router_shard_index_stays_consistent_after_resize():
+    router = RingRouter(["s0", "s1", "s2"], seed=3)
+    router.add("s3")
+    router.remove("s1")
+    for key in (f"k{i}" for i in range(50)):
+        assert router.services[router.shard_index(key)] == \
+            router.route(key)
+
+
 def test_ring_router_resize_moves_few_keys():
     metrics = MetricsRegistry()
     ring = RingRouter(["a", "b", "c"], seed=5, metrics=metrics)
