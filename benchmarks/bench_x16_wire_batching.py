@@ -1,0 +1,123 @@
+"""X16 — link-level batching across co-hosted services (extension).
+
+The wire pipeline's coalescing stage merges messages that share a
+``(src, dst)`` link within one scheduling round into a single envelope.
+The win grows with co-hosting: S services on the same three server
+nodes, driven by one client node, put S call messages on each
+client->server link per round — one envelope with batching, S without.
+
+This benchmark measures envelopes, messages per envelope and throughput
+at 1/4/16 co-hosted services with batching on vs off, all on identical
+seeds and workloads.  Expected shape: batching-off pays one envelope per
+message regardless of S; batching-on amortizes toward one envelope per
+link per round, so the envelope-reduction factor scales with S (>= 2x
+required from 4 services up), while delivered payloads and call results
+are identical.
+"""
+
+import os
+
+from _common import attach, run_once, save_result
+
+from repro import Deployment, LinkSpec, ServiceSpec, WireConfig
+from repro.apps import KVStore
+from repro.bench import banner, render_table
+
+#: CI smoke mode: fewer rounds and service counts, enough to prove the
+#: benchmark (and the >=2x batching win) end to end.
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+LINK = LinkSpec(delay=0.002, jitter=0.0005)
+SERVER_PIDS = [1, 2, 3]
+CLIENT = 101
+SERVICE_COUNTS = (1, 4) if TINY else (1, 4, 16)
+ROUNDS = 5 if TINY else 20
+
+#: Batching-on configuration: cap above 16 so a full round of co-hosted
+#: calls coalesces; no queue budget, to isolate the coalescing effect.
+BATCHED = WireConfig(batch=True, max_batch_msgs=64, max_batch_bytes=65536)
+
+
+def run_point(n_services, wire):
+    dep = Deployment(seed=16, default_link=LINK, keep_trace=False,
+                     wire=wire)
+    spec = ServiceSpec(bounded=10.0, acceptance=1)
+    for j in range(n_services):
+        dep.add_service(f"svc{j}", spec,
+                        lambda: KVStore(keep_log=False),
+                        servers=SERVER_PIDS, clients=[CLIENT])
+    failures = []
+
+    async def call_one(j, r):
+        result = await dep.call(CLIENT, f"svc{j}", "put",
+                                {"key": f"r{r}-s{j}", "value": r})
+        if not result.ok:
+            failures.append((j, r, result.status))
+
+    async def scenario():
+        # One call per service, fired in the same scheduling round: the
+        # pattern a multi-service node generates under concurrent load.
+        for r in range(ROUNDS):
+            tasks = [dep.spawn_client(CLIENT, call_one(j, r))
+                     for j in range(n_services)]
+            for task in tasks:
+                await dep.runtime.join(task)
+
+    start = dep.runtime.now()
+    dep.run_scenario(scenario())
+    elapsed = dep.runtime.now() - start
+    dep.settle(0.5)
+    dep.shutdown()
+    messages = dep.metrics.value("net.send")
+    envelopes = dep.metrics.value("net.envelopes")
+    return {"services": n_services,
+            "messages": int(messages),
+            "envelopes": int(envelopes),
+            "msgs_per_envelope": messages / max(1, envelopes),
+            "throughput": (n_services * ROUNDS) / elapsed,
+            "failures": len(failures)}
+
+
+def test_x16_wire_batching(benchmark):
+    def experiment():
+        rows = []
+        for n in SERVICE_COUNTS:
+            off = run_point(n, None)
+            on = run_point(n, BATCHED)
+            rows.append({"off": off, "on": on,
+                         "reduction": off["envelopes"]
+                         / max(1, on["envelopes"])})
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = render_table(
+        ["services", "envelopes off", "envelopes on", "reduction",
+         "msgs/env on", "ops/s off", "ops/s on"],
+        [[r["off"]["services"], r["off"]["envelopes"],
+          r["on"]["envelopes"], f"{r['reduction']:.1f}x",
+          f"{r['on']['msgs_per_envelope']:.1f}",
+          f"{r['off']['throughput']:.0f}",
+          f"{r['on']['throughput']:.0f}"] for r in rows])
+    save_result("x16_wire_batching", "\n".join([
+        banner("X16 — wire-pipeline link batching",
+               f"{ROUNDS} rounds of concurrent calls, services co-hosted "
+               f"on {len(SERVER_PIDS)} servers + 1 client node, link "
+               f"{LINK.delay * 1000:.1f}ms"),
+        table]))
+    attach(benchmark, {f"reduction_{r['off']['services']}":
+                       round(r["reduction"], 2) for r in rows})
+
+    for r in rows:
+        off, on = r["off"], r["on"]
+        assert off["failures"] == 0 and on["failures"] == 0
+        # Same seed, same workload: identical message-level traffic.
+        assert on["messages"] == off["messages"]
+        # Batching off IS the per-message path: one envelope per message.
+        assert off["envelopes"] == off["messages"]
+        # Acceptance criterion: >= 2x fewer envelopes from 4 services up.
+        if off["services"] >= 4:
+            assert r["reduction"] >= 2.0
+    # The reduction factor grows with co-hosting.
+    reductions = [r["reduction"] for r in rows]
+    assert reductions == sorted(reductions)

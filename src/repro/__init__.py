@@ -32,7 +32,7 @@ from repro.core import (
 )
 from repro.core import ReplyCache
 from repro.core.grpc import PendingCall, gather_calls
-from repro.net import Group, LinkSpec
+from repro.net import Group, LinkSpec, WireConfig
 from repro.obs import MetricsRegistry, Recorder
 from repro.placement import (
     ElasticKV,
@@ -55,6 +55,7 @@ __all__ = [
     "Status",
     "Group",
     "LinkSpec",
+    "WireConfig",
     "SimRuntime",
     "AsyncioRuntime",
     "PendingCall",

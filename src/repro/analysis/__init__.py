@@ -10,7 +10,12 @@ from repro.analysis.checkers import (
     check_subsequence,
     check_total_order_cluster,
 )
-from repro.analysis.obslint import check_obs_registration
+from repro.analysis.obslint import (
+    METRIC_NAMESPACES,
+    check_metric_names,
+    check_obs_registration,
+    known_metric_prefixes,
+)
 
 __all__ = [
     "CheckResult",
@@ -22,4 +27,7 @@ __all__ = [
     "check_total_order_cluster",
     "check_exactly_once_cluster",
     "check_obs_registration",
+    "check_metric_names",
+    "known_metric_prefixes",
+    "METRIC_NAMESPACES",
 ]

@@ -13,17 +13,74 @@ a refactor can silently break.
 that defines a class with a non-empty ``protocol_name`` attribute must
 contain a module-level ``register_protocol(...)`` call.  Run as part of
 the test suite (``tests/test_obs_lint.py``).
+
+The module also carries the **metric-name catalog**: the closed set of
+namespaces components may land instruments under
+(:data:`METRIC_NAMESPACES`), with :func:`check_metric_names` validating a
+registry snapshot against it.  Dashboards and exporters key off these
+prefixes, so an instrument outside the catalog is almost always a typo
+or an undocumented namespace that belongs in ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.checkers import CheckResult
 
-__all__ = ["check_obs_registration", "microprotocols_dir"]
+__all__ = [
+    "METRIC_NAMESPACES",
+    "check_metric_names",
+    "check_obs_registration",
+    "known_metric_prefixes",
+    "microprotocols_dir",
+]
+
+#: The documented instrument namespaces (prefix -> owner/meaning).  Keep
+#: in sync with ``docs/observability.md``; ``tests/test_obs_lint.py``
+#: holds deployments to this catalog.
+METRIC_NAMESPACES: Dict[str, str] = {
+    "net.batch.": "wire pipeline: coalescing (envelopes, messages, "
+                  "flush reasons, per-link flush-size histograms)",
+    "net.queue.": "wire pipeline: per-link backpressure (depth gauges, "
+                  "blocked-sender waits)",
+    "net.fastlane.": "wire pipeline: control messages bypassing "
+                     "batching and budgets",
+    "net.link.": "wire pipeline: optional per-link delivery counters "
+                 "and latency histograms",
+    "net.": "fabric trace kinds (send, deliver, drop-*, duplicate, "
+            "crash, recover) and envelope counts",
+    "handler.": "event-bus handler executions per micro-protocol",
+    "kernel.": "scheduler statistics snapshots",
+    "service.": "per-service call path (calls, status, latency, "
+                "executions, reply cache)",
+    "placement.": "elastic placement plane (ring, migrations, rebinds)",
+}
+
+
+def known_metric_prefixes() -> List[str]:
+    """The catalog's prefixes, longest first (most specific wins)."""
+    return sorted(METRIC_NAMESPACES, key=len, reverse=True)
+
+
+def check_metric_names(names: Iterable[str]) -> CheckResult:
+    """Validate instrument names against the namespace catalog.
+
+    ``names`` is typically ``registry.snapshot()`` keys or
+    ``registry.counter_names()``.  A name passes if it extends one of
+    the :data:`METRIC_NAMESPACES` prefixes with a non-empty suffix.
+    """
+    prefixes = known_metric_prefixes()
+    violations = [
+        f"instrument {name!r} is outside the documented namespaces "
+        f"({', '.join(sorted(METRIC_NAMESPACES))})"
+        for name in names
+        if not any(name.startswith(p) and len(name) > len(p)
+                   for p in prefixes)
+    ]
+    return CheckResult("metric-names", not violations, violations)
 
 #: Modules that legitimately define no micro-protocol class of their own.
 _EXEMPT = {"__init__.py", "base.py"}

@@ -66,6 +66,7 @@ from repro.net import (
     NetworkFabric,
     Node,
     UnreliableTransport,
+    WireConfig,
 )
 from repro.runtime import SimRuntime
 from repro.sim import RandomSource
@@ -169,7 +170,8 @@ class Deployment:
                  keep_trace: bool = True,
                  obs: Union[bool, Recorder] = False,
                  reply_cache: int = 128,
-                 runtime: Optional[SimRuntime] = None):
+                 runtime: Optional[SimRuntime] = None,
+                 wire: Optional[WireConfig] = None):
         """``membership`` is ``None``, ``"oracle"`` or ``"heartbeat"``,
         shared by every service: site liveness is service-independent, so
         one detector per node feeds every composite the node hosts.
@@ -179,6 +181,11 @@ class Deployment:
         enabled :class:`~repro.obs.Recorder` sharing the deployment's
         metrics registry; pass a pre-built recorder to control it
         yourself.  ``deployment.metrics`` always exists.
+
+        ``wire`` configures the fabric's
+        :class:`~repro.net.wire.WirePipeline` (link-level coalescing,
+        per-link backpressure, the control fast lane); the default keeps
+        every stage pass-through, i.e. the exact per-message path.
         """
         self.runtime = runtime or SimRuntime()
         if obs is True:
@@ -199,7 +206,7 @@ class Deployment:
         self.obs = self.runtime.obs
         self.fabric = NetworkFabric(
             self.runtime, rand=RandomSource(seed),
-            default_link=default_link, metrics=self.metrics)
+            default_link=default_link, metrics=self.metrics, wire=wire)
         self.fabric.trace.keep_events = keep_trace
 
         #: Name -> group directory; the client call path resolves through
@@ -470,6 +477,11 @@ class Deployment:
     @property
     def trace(self):
         return self.fabric.trace
+
+    @property
+    def pipeline(self):
+        """The fabric's wire pipeline (one per deployment)."""
+        return self.fabric.pipeline
 
     def publish_runtime_stats(self) -> None:
         """Snapshot the runtime's scheduler counters into ``kernel.*``

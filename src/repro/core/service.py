@@ -26,7 +26,7 @@ from repro.core.config import ServiceSpec
 from repro.core.deployment import CLIENT_BASE_PID, Deployment
 from repro.core.messages import CallResult
 from repro.errors import ConfigurationError, ReproError
-from repro.net import LinkSpec
+from repro.net import LinkSpec, WireConfig
 from repro.obs import Recorder
 from repro.runtime import SimRuntime
 
@@ -50,7 +50,8 @@ class ServiceCluster:
                  keep_trace: bool = True,
                  observe: bool = False,
                  obs: Union[bool, Recorder] = False,
-                 runtime: Optional[SimRuntime] = None):
+                 runtime: Optional[SimRuntime] = None,
+                 wire: Optional[WireConfig] = None):
         """``membership`` is ``None``, ``"oracle"`` or ``"heartbeat"``.
 
         ``observe=True`` links a read-only Call Observer micro-protocol
@@ -77,7 +78,7 @@ class ServiceCluster:
             seed=seed, default_link=default_link, membership=membership,
             membership_delay=membership_delay,
             heartbeat_interval=heartbeat_interval, keep_trace=keep_trace,
-            obs=obs, runtime=runtime)
+            obs=obs, runtime=runtime, wire=wire)
         self._service = self.deployment.add_service(
             _SERVICE_NAME, spec, app_factory,
             servers=range(1, n_servers + 1),

@@ -5,6 +5,13 @@ are low-level; this module packages them into the scripted faults the
 experiments need: "drop the first N replies from server 3", "crash the
 server 5 ms into the transfer and recover it a second later".  Everything
 is deterministic: filters count matches, schedules run on virtual time.
+
+Filters compose transparently with the wire pipeline's link-level
+batching: the fabric probes every filter once per *inner* message of a
+coalesced :class:`~repro.net.wire.WireBatch` (each probe envelope carries
+one inner payload), so predicates written against single messages —
+``replies_from(3)``, ``calls_to(...)`` — match and count identically
+whether or not batching is enabled.
 """
 
 from __future__ import annotations

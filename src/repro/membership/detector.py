@@ -28,10 +28,20 @@ __all__ = ["Heartbeat", "HeartbeatDetector"]
 
 @dataclass(frozen=True)
 class Heartbeat:
-    """The wire payload heartbeat senders multicast."""
+    """The wire payload heartbeat senders multicast.
+
+    ``wire_control`` marks the type for the wire pipeline's control fast
+    lane: beats bypass link-level coalescing and queue budgets so a
+    detector is never head-of-line blocked behind bulk RPC traffic
+    (which would cause false suspicions under load).
+    """
 
     sender: ProcessId
     seq: int
+
+    #: Fast-lane marker read by :mod:`repro.net.wire` (class attribute,
+    #: not a field — it never travels).
+    wire_control = True
 
 
 class HeartbeatDetector(Protocol):

@@ -29,6 +29,7 @@ from repro.errors import ReproError
 from repro.net.message import Envelope, Group, ProcessId
 from repro.net.node import Node
 from repro.net.trace import NetTrace
+from repro.net.wire import WireBatch, WireConfig, WirePipeline
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.base import Runtime
 from repro.sim.rand import RandomSource
@@ -72,11 +73,15 @@ class NetworkFabric:
                  rand: Optional[RandomSource] = None,
                  default_link: LinkSpec = LinkSpec(),
                  trace: Optional[NetTrace] = None,
-                 metrics: Optional["MetricsRegistry"] = None):
+                 metrics: Optional["MetricsRegistry"] = None,
+                 wire: Optional[WireConfig] = None):
         self.runtime = runtime
         self.rand = rand or RandomSource(0)
         self.default_link = default_link
         self.trace = trace or NetTrace(metrics=metrics)
+        #: The one outbound path: every sender reaches :meth:`send`
+        #: through this pipeline (coalescing, backpressure, fast lane).
+        self.pipeline = WirePipeline(self, wire)
         self.nodes: Dict[ProcessId, Node] = {}
         self._links: Dict[Tuple[ProcessId, ProcessId], LinkSpec] = {}
         self._blocked: Set[Tuple[ProcessId, ProcessId]] = set()
@@ -139,38 +144,75 @@ class NetworkFabric:
     # Sending
     # ------------------------------------------------------------------
 
-    def send(self, src: ProcessId, dst: ProcessId, payload: object) -> None:
+    def send(self, src: ProcessId, dst: ProcessId, payload: object, *,
+             resolve: Optional[Callable[[], None]] = None) -> None:
         """Queue ``payload`` for delivery over the ``src -> dst`` link.
 
-        Never blocks; the envelope is subjected to the link's loss,
-        duplication and delay models and delivered (or not) later.
+        This is the single internal primitive the wire pipeline owns:
+        protocol stacks go through ``fabric.pipeline`` (which stages,
+        coalesces and budgets) and the pipeline lands here.  Never
+        blocks; the envelope is subjected to the link's loss, duplication
+        and delay models and delivered (or not) later.
+
+        A :class:`~repro.net.wire.WireBatch` payload travels (and is
+        lost, duplicated or delayed) as one envelope, but every ``net.*``
+        trace record accounts per *inner* message — dropping a batch of
+        five is five losses.  Scripted fault filters are likewise probed
+        once per inner message, so :mod:`repro.faults` applies uniformly
+        whether or not batching is on; surviving messages continue in a
+        rebuilt batch.  ``resolve`` is called exactly once when the
+        envelope's fate is decided (the pipeline's budget return).
         """
         now = self.runtime.now()
-        envelope = Envelope(src, dst, payload, now)
-        self.trace.record(now, "send", src, dst, detail=payload)
-        for fltr in self._filters:
-            if not fltr(envelope):
-                self.trace.record(now, "drop-filter", src, dst,
-                                  detail=payload)
+        envelope = Envelope(src, dst, payload, now, on_resolved=resolve)
+        batched = isinstance(payload, WireBatch)
+        inner: List[object] = list(payload) if batched else [payload]
+        self.trace.metrics.counter("net.envelopes").inc()
+        for msg in inner:
+            self.trace.record(now, "send", src, dst, detail=msg)
+        if self._filters:
+            survivors = []
+            for msg in inner:
+                probe = envelope if not batched else \
+                    Envelope(src, dst, msg, now, seq=envelope.seq)
+                if all(fltr(probe) for fltr in list(self._filters)):
+                    survivors.append(msg)
+                else:
+                    self.trace.record(now, "drop-filter", src, dst,
+                                      detail=msg)
+            if not survivors:
+                envelope.resolve()
                 return
+            if len(survivors) != len(inner):
+                inner = survivors
+                payload = survivors[0] if len(survivors) == 1 \
+                    else WireBatch(survivors)
+                envelope = Envelope(src, dst, payload, now,
+                                    seq=envelope.seq, on_resolved=resolve)
         if (src, dst) in self._blocked:
-            self.trace.record(now, "drop-partition", src, dst,
-                              detail=payload)
+            for msg in inner:
+                self.trace.record(now, "drop-partition", src, dst,
+                                  detail=msg)
+            envelope.resolve()
             return
         spec = self.link(src, dst)
         rng = self.rand.stream(f"link-{src}-{dst}")
         if spec.loss and rng.random() < spec.loss:
-            self.trace.record(now, "drop-loss", src, dst, detail=payload)
+            for msg in inner:
+                self.trace.record(now, "drop-loss", src, dst, detail=msg)
+            envelope.resolve()
             return
         copies = 1
         if spec.duplicate and rng.random() < spec.duplicate:
             copies = 2
-            self.trace.record(now, "duplicate", src, dst, detail=payload)
+            for msg in inner:
+                self.trace.record(now, "duplicate", src, dst, detail=msg)
         for copy in range(copies):
             delay = spec.delay + rng.uniform(0.0, spec.jitter)
             if spec.spike_prob and rng.random() < spec.spike_prob:
                 delay += spec.spike_delay
-            copy_env = Envelope(src, dst, payload, now, copy=copy)
+            copy_env = Envelope(src, dst, payload, now, copy=copy,
+                                on_resolved=resolve)
             self.runtime.call_later(
                 delay, lambda env=copy_env: self._deliver(env))
 
@@ -189,12 +231,23 @@ class NetworkFabric:
     def _deliver(self, envelope: Envelope) -> None:
         node = self.nodes.get(envelope.dst)
         now = self.runtime.now()
+        payload = envelope.payload
+        inner: List[object] = list(payload) \
+            if isinstance(payload, WireBatch) else [payload]
         if node is None or not node.up:
-            self.trace.record(now, "drop-dead", envelope.src, envelope.dst,
-                              detail=envelope.payload)
+            for msg in inner:
+                self.trace.record(now, "drop-dead", envelope.src,
+                                  envelope.dst, detail=msg)
+            envelope.resolve()
             return
-        self.trace.record(now, "deliver", envelope.src, envelope.dst,
-                          detail=envelope.payload)
+        for msg in inner:
+            self.trace.record(now, "deliver", envelope.src, envelope.dst,
+                              detail=msg)
+        envelope.resolve()
+        if self.pipeline.link_metrics:
+            self.pipeline.on_delivered(envelope.src, envelope.dst,
+                                       len(inner),
+                                       now - envelope.send_time)
         node.deliver(envelope)
 
     # ------------------------------------------------------------------

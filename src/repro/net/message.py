@@ -10,9 +10,9 @@ payload in flight.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Iterable, Tuple
+from typing import Any, Callable, FrozenSet, Iterable, Optional, Tuple
 
-__all__ = ["ProcessId", "Group", "Envelope"]
+__all__ = ["ProcessId", "Group", "Envelope", "wire_size"]
 
 #: Processes are identified by small integers, as in the paper's pseudocode
 #: (`my_id`, `max(id: process_id in server)` for leader election).
@@ -66,16 +66,57 @@ class Group:
         return max(candidates)
 
 
+def wire_size(value: Any) -> int:
+    """Deterministic byte-size *estimate* of a payload on the wire.
+
+    The simulated fabric never actually serializes payloads (they are
+    handed across as Python objects), but the wire pipeline's coalescing
+    cap and per-link queue budgets need a size to reason about.  This
+    estimate mirrors the framing of :mod:`repro.stubs.marshal` — one tag
+    byte plus a length prefix per variable-size value — extended to the
+    dataclass wire types (``NetMsg``, ``Heartbeat``, ...) that travel
+    whole: a dataclass costs 2 bytes of framing plus its fields.
+
+    Objects exposing their own ``wire_size()`` (e.g.
+    :class:`~repro.net.wire.WireBatch`) are deferred to; anything
+    unrecognised is charged a flat 16 bytes rather than rejected, since
+    tests ship ad-hoc payloads through the fabric.
+    """
+    sizer = getattr(value, "wire_size", None)
+    if callable(sizer):
+        return int(sizer())
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 9
+    if isinstance(value, str):
+        return 5 + len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return 5 + len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 5 + sum(wire_size(item) for item in value)
+    if isinstance(value, dict):
+        return 5 + sum(wire_size(k) + wire_size(v)
+                       for k, v in value.items())
+    fields = getattr(value, "__dataclass_fields__", None)
+    if fields is not None:
+        return 2 + sum(wire_size(getattr(value, name)) for name in fields)
+    return 16
+
+
 _ENVELOPE_SEQ = 0
 
 
-@dataclass
+@dataclass(repr=False)
 class Envelope:
     """A payload in flight through the simulated fabric.
 
     ``seq`` is a global sequence number used only for tracing and
     deterministic tie-breaking; ``copy`` distinguishes duplicated
-    deliveries of the same send.
+    deliveries of the same send.  ``on_resolved`` is the wire pipeline's
+    completion hook: called exactly once when the fabric decides the
+    envelope's fate (delivered or dropped), it returns the link's
+    in-flight budget so blocked senders can proceed.
     """
 
     src: ProcessId
@@ -84,9 +125,26 @@ class Envelope:
     send_time: float
     seq: int = field(default=-1)
     copy: int = 0
+    on_resolved: Optional[Callable[[], None]] = field(default=None,
+                                                      compare=False)
 
     def __post_init__(self) -> None:
         global _ENVELOPE_SEQ
         if self.seq < 0:
             self.seq = _ENVELOPE_SEQ
             _ENVELOPE_SEQ += 1
+
+    def wire_size(self) -> int:
+        """Estimated on-wire size of the carried payload in bytes."""
+        return wire_size(self.payload)
+
+    def resolve(self) -> None:
+        """Fire the pipeline's completion hook (idempotence is the
+        hook's own responsibility — duplicated copies share one)."""
+        if self.on_resolved is not None:
+            self.on_resolved()
+
+    def __repr__(self) -> str:
+        return (f"<Envelope #{self.seq} {self.src}->{self.dst} "
+                f"{type(self.payload).__name__} size={self.wire_size()}"
+                f"{f' copy={self.copy}' if self.copy else ''}>")

@@ -80,6 +80,10 @@ class Node:
         self.scope.cancel_all()
         self._receiver = None
         self.inbox.clear()
+        # Outbound messages still sitting in the wire pipeline's
+        # coalescing buffers die with the site: a down node cannot
+        # transmit on the flush timer.
+        self.fabric.pipeline.drop_source(self.pid)
         for listener in list(self.crash_listeners):
             listener()
         self.fabric.notify_membership(self.pid, alive=False)

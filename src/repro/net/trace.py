@@ -30,8 +30,11 @@ class TraceEvent:
     """One timestamped fabric event.
 
     ``kind`` is one of ``send``, ``deliver``, ``drop-loss``,
-    ``drop-partition``, ``drop-filter``, ``drop-dead``, ``duplicate``,
-    ``crash``, ``recover``.
+    ``drop-partition``, ``drop-filter``, ``drop-dead``,
+    ``drop-src-down`` (buffered by the wire pipeline when the sending
+    site crashed before its coalescing flush), ``duplicate``, ``crash``,
+    ``recover``.  Batched envelopes account one record per *inner*
+    message for every kind.
     """
 
     time: float

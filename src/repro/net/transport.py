@@ -10,6 +10,14 @@ Reliable Communication micro-protocol above it.
 :class:`~repro.net.message.Group`, or any iterable of process ids as the
 destination, covering the paper's ``Net.push(p, msg)`` and
 ``Net.push(msg.server, msg)`` uses uniformly.
+
+Outbound messages are handed to the fabric's
+:class:`~repro.net.wire.WirePipeline` — the single send path shared by
+every protocol stack — so link-level coalescing, backpressure and the
+control fast lane apply uniformly no matter which composite is sending.
+Inbound, the transport unbatches :class:`~repro.net.wire.WireBatch`
+envelopes back into individual payloads, each dispatched up the demux
+stack in its own task; everything above this layer is batching-agnostic.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from typing import Iterable, Union
 from repro.net.fabric import NetworkFabric
 from repro.net.message import Envelope, Group, ProcessId
 from repro.net.node import Node
+from repro.net.wire import WireBatch
 from repro.xkernel.upi import Protocol
 
 __all__ = ["UnreliableTransport"]
@@ -36,16 +45,35 @@ class UnreliableTransport(Protocol):
         node.transport = self
 
     async def push(self, dest: Destination, payload: object) -> None:
-        """Send ``payload`` toward ``dest``; never blocks, may be lost."""
+        """Send ``payload`` toward ``dest`` via the wire pipeline.
+
+        May be lost; may block briefly when the pipeline's per-link
+        in-flight budget is exhausted (backpressure), never otherwise.
+        """
         if not self.node.up:
             # A crashed site cannot transmit; tasks are normally cancelled
             # before reaching here, but timer callbacks may race the crash.
             return
+        pipeline = self.fabric.pipeline
         if isinstance(dest, (Group, list, tuple, set, frozenset)):
-            self.fabric.multicast(self.node.pid, dest, payload)
+            await pipeline.multicast(self.node.pid, dest, payload)
         else:
-            self.fabric.send(self.node.pid, dest, payload)
+            await pipeline.send(self.node.pid, dest, payload)
 
     async def handle_arrival(self, envelope: Envelope) -> None:
-        """Deliver one arrived envelope up the stack (its own task)."""
-        await self.pop(envelope.payload, sender=envelope.src)
+        """Deliver one arrived envelope up the stack (its own task).
+
+        A coalesced envelope fans out into one task per inner message,
+        preserving arrival order at the same instant while keeping the
+        per-message execution model: one blocked handler chain must not
+        stall the rest of the batch.
+        """
+        payload = envelope.payload
+        if isinstance(payload, WireBatch):
+            for i, msg in enumerate(payload):
+                self.node.scope.spawn(
+                    self.pop(msg, sender=envelope.src),
+                    name=f"{self.node.name}-msg-{envelope.seq}.{i}",
+                    daemon=True)
+            return
+        await self.pop(payload, sender=envelope.src)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis import check_obs_registration
+from repro.analysis import (
+    METRIC_NAMESPACES,
+    check_metric_names,
+    check_obs_registration,
+    known_metric_prefixes,
+)
 from repro.analysis.obslint import microprotocols_dir
 from repro.obs import is_registered, register_protocol, registered_protocols
 
@@ -65,3 +70,45 @@ def test_registration_is_idempotent_and_validates():
 
 def test_lint_targets_the_installed_package():
     assert (microprotocols_dir() / "rpc_main.py").exists()
+
+
+# ----------------------------------------------------------------------
+# The metric-name catalog
+# ----------------------------------------------------------------------
+
+def test_metric_catalog_includes_the_wire_pipeline_namespaces():
+    for prefix in ("net.batch.", "net.queue.", "net.fastlane.",
+                   "net.link.", "net.", "handler.", "kernel.",
+                   "service.", "placement."):
+        assert prefix in METRIC_NAMESPACES
+    # Longest-first so the specific wire namespaces win over "net.".
+    prefixes = known_metric_prefixes()
+    assert prefixes.index("net.batch.") < prefixes.index("net.")
+
+
+def test_check_metric_names_accepts_and_flags():
+    ok = check_metric_names(["net.batch.envelopes", "net.queue.waits",
+                             "net.fastlane.sends", "net.send",
+                             "service.kv.calls", "handler.RPC_Main"])
+    assert ok.ok
+    bad = check_metric_names(["wire.batch.envelopes", "net."])
+    assert not bad.ok
+    assert len(bad.violations) == 2
+
+
+def test_live_deployment_instruments_stay_inside_the_catalog():
+    from repro import LinkSpec, ServiceCluster, ServiceSpec, WireConfig
+    from repro.apps import KVStore
+
+    cluster = ServiceCluster(
+        ServiceSpec(bounded=5.0, unique=True), KVStore, n_servers=3,
+        default_link=LinkSpec(delay=0.005, jitter=0.0),
+        membership="heartbeat",
+        wire=WireConfig(batch=True, queue_depth=8, link_metrics=True))
+    cluster.call_and_run("put", {"key": "k", "value": 1}, extra_time=0.3)
+    cluster.deployment.publish_runtime_stats()
+    snap = cluster.metrics.snapshot()
+    names = (list(snap["counters"]) + list(snap["gauges"])
+             + list(snap["histograms"]))
+    assert names  # something was actually instrumented
+    check_metric_names(names).raise_if_failed()

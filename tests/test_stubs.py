@@ -9,6 +9,7 @@ from repro import Group, LinkSpec, ServiceCluster, ServiceSpec
 from repro.apps import KVStore
 from repro.core.microprotocols import average
 from repro.errors import BindingError, MarshalError, RPCTimeout
+from repro.net.message import Envelope, wire_size
 from repro.stubs import (
     BindingRegistry,
     MarshallingApp,
@@ -37,6 +38,21 @@ SAMPLES = [
 @pytest.mark.parametrize("value", SAMPLES, ids=repr)
 def test_marshal_roundtrip(value):
     assert unmarshal(marshal(value)) == value
+    # The wire pipeline's size estimate (coalescing cap, queue budgets)
+    # must be defined, positive and stable across a marshal round trip
+    # for everything the stubs can carry.
+    assert wire_size(value) >= 1
+    assert wire_size(unmarshal(marshal(value))) == wire_size(value)
+
+
+@pytest.mark.parametrize("value", SAMPLES, ids=repr)
+def test_envelope_repr_is_stable_and_sized(value):
+    env = Envelope(1, 2, value, 0.0, seq=77)
+    assert env.wire_size() == wire_size(value)
+    assert repr(env) == (f"<Envelope #77 1->2 {type(value).__name__} "
+                         f"size={wire_size(value)}>")
+    dup = Envelope(1, 2, value, 0.0, seq=77, copy=1)
+    assert repr(dup).endswith("copy=1>")
 
 
 def test_marshal_distinguishes_list_and_tuple():
