@@ -8,12 +8,21 @@ so EXPERIMENTS.md can quote it verbatim.
 Wall-clock timing comes from pytest-benchmark; the scientific metrics
 (latencies, message counts, execution counts) are *virtual-time* results
 attached to ``benchmark.extra_info``.
+
+Benchmarks that feed the **bench trajectory** additionally write
+``benchmarks/results/BENCH_<name>.json`` via :func:`save_bench_json` — a
+machine-readable point (ops/sec, latency watermarks, envelope counts,
+git revision) that CI archives per run, so regressions show up as a
+diffable series rather than prose.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import pathlib
-from typing import Any, Dict
+import subprocess
+from typing import Any, Dict, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -24,6 +33,44 @@ def save_result(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def git_rev() -> str:
+    """Short revision of the working tree, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10)
+        return proc.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def percentiles(values: Sequence[float]) -> Dict[str, float]:
+    """Nearest-rank p50/p95/p99 of a latency sample, in milliseconds."""
+    if not values:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    ordered = sorted(values)
+    def rank(p: int) -> float:
+        idx = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+        return round(ordered[idx] * 1000, 3)
+    return {"p50_ms": rank(50), "p95_ms": rank(95), "p99_ms": rank(99)}
+
+
+def save_bench_json(bench: str, payload: Dict[str, Any], *,
+                    tiny: bool = False) -> None:
+    """Write one machine-readable trajectory point for ``bench``.
+
+    Stable rendering (sorted keys, trailing newline) so successive runs
+    of an unchanged tree produce byte-identical files.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc: Dict[str, Any] = {"schema": 1, "bench": bench,
+                           "rev": git_rev(), "tiny": tiny}
+    doc.update(payload)
+    path = RESULTS_DIR / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def run_once(benchmark, fn):

@@ -12,7 +12,8 @@ serializes the rest.
 
 import os
 
-from _common import attach, run_once, save_result
+from _common import (attach, percentiles, run_once, save_bench_json,
+                     save_result)
 
 from repro import Deployment, LinkSpec, ServiceSpec
 from repro.apps import KVStore, ShardedKV, build_sharded_kv
@@ -38,11 +39,14 @@ def run_point(n_shards):
     workers = dep.services[kv.router.services[0]].client_pids
     ops_total = N_WORKERS * OPS_PER_WORKER
     failures = []
+    latencies = []
 
     async def worker(pid, lane):
         view = ShardedKV(dep, pid, kv.router)
         for i in range(OPS_PER_WORKER):
+            begin = dep.runtime.now()
             result = await view.put(f"w{lane}-k{i}", i)
+            latencies.append(dep.runtime.now() - begin)
             if not result.ok:
                 failures.append((pid, i, result.status))
 
@@ -64,6 +68,8 @@ def run_point(n_shards):
             "throughput": ops_total / elapsed,
             "elapsed_s": elapsed,
             "failures": len(failures),
+            "envelopes": int(dep.metrics.value("net.envelopes")),
+            "latencies": latencies,
             "exec_spread": max(per_shard) / max(1, min(per_shard))}
 
 
@@ -88,6 +94,16 @@ def test_x14_sharded_scaling(benchmark):
         table]))
     attach(benchmark, {f"shards_{r['shards']}":
                        round(r["throughput"], 1) for r in rows})
+    save_bench_json("x14_sharded_scaling", {
+        "workload": {"clients": N_WORKERS,
+                     "ops": N_WORKERS * OPS_PER_WORKER,
+                     "op_delay_ms": OP_DELAY * 1000},
+        "points": [{"shards": r["shards"],
+                    "ops_per_sec": round(r["throughput"], 1),
+                    "envelopes": r["envelopes"],
+                    "failures": r["failures"],
+                    **percentiles(r["latencies"])} for r in rows]},
+        tiny=TINY)
 
     assert all(r["failures"] == 0 for r in rows)
     by_shards = {r["shards"]: r["throughput"] for r in rows}

@@ -15,7 +15,8 @@ Two questions about the placement plane:
 
 import os
 
-from _common import attach, run_once, save_result
+from _common import (attach, percentiles, run_once, save_bench_json,
+                     save_result)
 
 from repro import Deployment, HashRing, LinkSpec, build_elastic_kv
 from repro.apps import ShardRouter
@@ -97,14 +98,19 @@ def live_resize():
         await dep.runtime.join(shape)
         await dep.runtime.join(work)
 
+    begin = dep.runtime.now()
     dep.run_scenario(scenario(), extra_time=1.0)
+    elapsed = dep.runtime.now() - begin  # includes the 1 s drain tail
     dep.shutdown()
     baseline = min(stalls)
     return {"ops": len(stalls),
+            "ops_per_sec": len(stalls) / elapsed,
             "failures": len(failures),
             "grow_moved_frac": moved["grow"] / len(KEYS),
             "shrink_moved_frac": moved["shrink"] / len(KEYS),
             "parked": dep.metrics.value("placement.parked_calls"),
+            "envelopes": int(dep.metrics.value("net.envelopes")),
+            "latencies": list(stalls),
             "baseline_ms": baseline * 1000,
             "worst_stall_ms": max(stalls) * 1000}
 
@@ -138,6 +144,18 @@ def test_x15_rebalancing(benchmark):
         "modulo_grow_frac": round(churn[0]["modulo_frac"], 3),
         "live_failures": live["failures"],
         "live_worst_stall_ms": round(live["worst_stall_ms"], 2)})
+    save_bench_json("x15_rebalancing", {
+        "churn": [{"step": r["step"],
+                   "ring_moved_frac": round(r["ring_frac"], 3),
+                   "modulo_moved_frac": round(r["modulo_frac"], 3)}
+                  for r in churn],
+        "live": {"ops_per_sec": round(live["ops_per_sec"], 1),
+                 "failures": live["failures"],
+                 "parked": int(live["parked"]),
+                 "envelopes": live["envelopes"],
+                 "worst_stall_ms": round(live["worst_stall_ms"], 3),
+                 **percentiles(live["latencies"])}},
+        tiny=TINY)
 
     # The headline: consistent hashing moves O(K/N) keys per resize,
     # modulo-N remaps most of the keyspace.

@@ -17,7 +17,8 @@ are identical.
 
 import os
 
-from _common import attach, run_once, save_result
+from _common import (attach, percentiles, run_once, save_bench_json,
+                     save_result)
 
 from repro import Deployment, LinkSpec, ServiceSpec, WireConfig
 from repro.apps import KVStore
@@ -47,10 +48,13 @@ def run_point(n_services, wire):
                         lambda: KVStore(keep_log=False),
                         servers=SERVER_PIDS, clients=[CLIENT])
     failures = []
+    latencies = []
 
     async def call_one(j, r):
+        begin = dep.runtime.now()
         result = await dep.call(CLIENT, f"svc{j}", "put",
                                 {"key": f"r{r}-s{j}", "value": r})
+        latencies.append(dep.runtime.now() - begin)
         if not result.ok:
             failures.append((j, r, result.status))
 
@@ -75,6 +79,7 @@ def run_point(n_services, wire):
             "envelopes": int(envelopes),
             "msgs_per_envelope": messages / max(1, envelopes),
             "throughput": (n_services * ROUNDS) / elapsed,
+            "latencies": latencies,
             "failures": len(failures)}
 
 
@@ -107,6 +112,19 @@ def test_x16_wire_batching(benchmark):
         table]))
     attach(benchmark, {f"reduction_{r['off']['services']}":
                        round(r["reduction"], 2) for r in rows})
+    save_bench_json("x16_wire_batching", {
+        "points": [{"services": r["off"]["services"],
+                    "envelopes_off": r["off"]["envelopes"],
+                    "envelopes_on": r["on"]["envelopes"],
+                    "reduction": round(r["reduction"], 2),
+                    "msgs_per_envelope_on":
+                        round(r["on"]["msgs_per_envelope"], 2),
+                    "ops_per_sec_off": round(r["off"]["throughput"], 1),
+                    "ops_per_sec_on": round(r["on"]["throughput"], 1),
+                    **{f"{key}_on": value for key, value in
+                       percentiles(r["on"]["latencies"]).items()}}
+                   for r in rows]},
+        tiny=TINY)
 
     for r in rows:
         off, on = r["off"], r["on"]

@@ -10,11 +10,17 @@ Commands
                 or — given a configuration preset — run a traced
                 workload and dump the span tree as JSONL (``--flame``
                 for the human-readable tree)
+``report``      run a preset deployment with the observatory enabled
+                (Zipfian workload + an injected server crash) and print
+                the one-page health report
+``obslint``     run the static observability lints (micro-protocol
+                registration, metric-namespace catalog)
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 from typing import List, Optional
 
@@ -136,6 +142,95 @@ def _trace_config(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Deployments the report subcommand can observe.
+REPORT_CONFIGS = ("sharded-kv",)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a preset under the observatory and print the health report.
+
+    The ``sharded-kv`` preset deploys N ring-routed shards (two servers
+    each) under heartbeat membership with automatic rebinding, drives a
+    Zipfian keyed workload through the router, then crashes one server
+    mid-run so the report shows the whole causal chain: the suspicion
+    flip, the rebind, the latency excursion in the SLO windows, and the
+    flight-recorder dump trail.
+    """
+    from repro.apps.sharding import build_sharded_kv
+    from repro.core.deployment import Deployment
+    from repro.obs.observatory import ObservatoryConfig
+
+    config = ObservatoryConfig(
+        slo_thresholds={95: args.slo_p95, 99: args.slo_p99},
+        slo_min_samples=16)
+    # A deliberately sluggish failure detector (~0.75 s to suspicion):
+    # the post-crash stall must outlast the p99 bound for the report to
+    # show the breach -> flight-dump chain.
+    deployment = Deployment(
+        seed=args.seed, membership="heartbeat",
+        heartbeat_interval=0.25, suspect_after=3,
+        default_link=LinkSpec(delay=0.01, jitter=0.005),
+        observatory=config)
+    # acceptance=2 with two servers: a call needs both replies, so after
+    # the injected crash the calls to the victim's shard stall against
+    # the dead replica until the suspicion flip rebinds the group — a
+    # visible latency excursion for the SLO windows to catch.
+    spec = ServiceSpec(reliable=True, unique=True, execution="serial",
+                       bounded=2.0, acceptance=2)
+    kv = build_sharded_kv(deployment, args.shards, spec=spec,
+                          servers_per_shard=2)
+    deployment.auto_rebind()
+
+    rng = random.Random(args.seed)
+    keys = [f"key-{i:04d}" for i in range(args.keys)]
+    weights = [1.0 / (rank + 1) for rank in range(args.keys)]  # Zipf s=1
+
+    async def burst(n: int) -> None:
+        for _ in range(n):
+            key = rng.choices(keys, weights)[0]
+            await kv.put(key, rng.randrange(1 << 16))
+
+    deployment.run_scenario(burst(args.ops // 2))
+    victim = deployment.services["shard-0"].server_pids[0]
+    deployment.crash(victim)
+    # No settling: the next calls race the failure detector, so the
+    # first ones time out against the dead replica (SLO breach -> flight
+    # dump) until suspicion flips and the rebind takes hold.
+    deployment.run_scenario(burst(args.ops - args.ops // 2),
+                            extra_time=0.2)
+    deployment.settle(0.5)
+    deployment.publish_runtime_stats()
+    print(deployment.render_report())
+    deployment.shutdown()
+    return 0
+
+
+def cmd_obslint(args: argparse.Namespace) -> int:
+    """Static observability lints; exit 1 on any violation."""
+    from repro.analysis.obslint import (check_metric_names,
+                                        check_obs_registration)
+    results = [check_obs_registration()]
+    # Validate a live registry against the namespace catalog: a tiny
+    # observatory-enabled deployment exercises every instrument family.
+    from repro.core.deployment import Deployment
+    deployment = Deployment(membership="oracle", observatory=True)
+    deployment.add_service("lint", ServiceSpec(), KVStore, servers=2)
+    deployment.call_and_run("lint", "put", {"key": "k", "value": 1})
+    deployment.publish_runtime_stats()
+    snapshot = deployment.metrics.snapshot()
+    names = [name for kind in snapshot.values() for name in kind]
+    results.append(check_metric_names(names))
+    deployment.shutdown()
+    failed = False
+    for result in results:
+        status = "ok" if result.ok else "FAIL"
+        print(f"{result.name}: {status}")
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        failed = failed or not result.ok
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -166,9 +261,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="print the human-readable span tree instead "
                             "of JSONL")
 
+    report = sub.add_parser(
+        "report",
+        help="run a preset under the observatory and print the "
+             "one-page deployment health report")
+    report.add_argument("config", nargs="?", default="sharded-kv",
+                        choices=sorted(REPORT_CONFIGS))
+    report.add_argument("--shards", type=int, default=3)
+    report.add_argument("--keys", type=int, default=64)
+    report.add_argument("--ops", type=int, default=120)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--slo-p95", type=float, default=0.25)
+    report.add_argument("--slo-p99", type=float, default=0.5)
+
+    sub.add_parser("obslint",
+                   help="static observability lints (protocol "
+                        "registration, metric namespaces)")
+
     args = parser.parse_args(argv)
     handlers = {"info": cmd_info, "enumerate": cmd_enumerate,
-                "demo": cmd_demo, "trace": cmd_trace}
+                "demo": cmd_demo, "trace": cmd_trace,
+                "report": cmd_report, "obslint": cmd_obslint}
     if args.command is None:
         parser.print_help()
         return 2

@@ -56,7 +56,13 @@ METRIC_NAMESPACES: Dict[str, str] = {
     "kernel.": "scheduler statistics snapshots",
     "service.": "per-service call path (calls, status, latency, "
                 "executions, reply cache)",
+    "placement.load.": "observatory: per-key load accounting (lookup "
+                       "volume and top-K hot keys per shard)",
     "placement.": "elastic placement plane (ring, migrations, rebinds)",
+    "obs.profile.": "observatory: kernel/handler/marshal profiler",
+    "obs.slo.": "observatory: windowed latency watermarks and breaches",
+    "obs.recorder.": "observatory: flight-recorder ring accounting",
+    "obs.": "obs layer self-accounting (handler recordings)",
 }
 
 

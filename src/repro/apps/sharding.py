@@ -61,12 +61,21 @@ class ShardRouter:
             raise ReproError("a shard router needs at least one service")
         self._lookups = None
         self._routed: Dict[str, Any] = {}
+        #: Per-key load tracker (the observatory's), or None — the
+        #: usual attach-once obs contract.
+        self._load = None
         if metrics is not None:
             self._lookups = metrics.counter("placement.router.lookups")
             self._routed = {
                 name: metrics.counter(
                     f"placement.router.keys_routed.{name}")
                 for name in self.services}
+
+    def attach_load(self, tracker: Any) -> None:
+        """Feed every routed lookup to a
+        :class:`~repro.obs.loadstats.KeyLoadTracker` (hot-key
+        accounting).  Attach once, at build time."""
+        self._load = tracker
 
     def __len__(self) -> int:
         return len(self.services)
@@ -86,6 +95,8 @@ class ShardRouter:
             counter = self._routed.get(name)
             if counter is not None:
                 counter.inc()
+        if self._load is not None:
+            self._load.note(name, str(key))
         return name
 
     def partition(self, keys: Iterable[Any]) -> Dict[str, List[Any]]:
@@ -239,4 +250,7 @@ def build_sharded_kv(deployment: Any, n_shards: int, *,
                                          metrics=deployment.metrics)
     else:
         routed = ShardRouter(names, metrics=deployment.metrics)
+    observatory = getattr(deployment, "observatory", None)
+    if observatory is not None:
+        routed.attach_load(observatory.load)
     return ShardedKV(deployment, first.client, routed)

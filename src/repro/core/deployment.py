@@ -60,6 +60,7 @@ from repro.errors import (
 from repro.core.replycache import ReplyCache
 from repro.membership import HeartbeatMembership, OracleMembership
 from repro.obs import MetricsRegistry, Recorder, format_flame, to_jsonl
+from repro.obs.observatory import Observatory, ObservatoryConfig
 from repro.net import (
     Group,
     LinkSpec,
@@ -169,6 +170,7 @@ class Deployment:
                  suspect_after: int = 3,
                  keep_trace: bool = True,
                  obs: Union[bool, Recorder] = False,
+                 observatory: Union[bool, ObservatoryConfig] = False,
                  reply_cache: int = 128,
                  runtime: Optional[SimRuntime] = None,
                  wire: Optional[WireConfig] = None):
@@ -186,6 +188,14 @@ class Deployment:
         :class:`~repro.net.wire.WirePipeline` (link-level coalescing,
         per-link backpressure, the control fast lane); the default keeps
         every stage pass-through, i.e. the exact per-message path.
+
+        ``observatory`` turns on the measurement plane
+        (:class:`~repro.obs.observatory.Observatory`): the kernel
+        profiler, per-key load accounting, SLO windows and the flight
+        recorder.  ``True`` uses the default
+        :class:`~repro.obs.observatory.ObservatoryConfig`; pass a
+        config to tune it.  Disabled (the default) costs nothing: every
+        hook stays ``None``.
         """
         self.runtime = runtime or SimRuntime()
         if obs is True:
@@ -233,6 +243,22 @@ class Deployment:
         elif membership == "heartbeat":
             self._membership = HeartbeatMembership(
                 interval=heartbeat_interval, suspect_after=suspect_after)
+
+        #: The measurement plane and its two call-path hooks (all None
+        #: when disabled, keeping the hot paths on a single is-None
+        #: test).  Built last: it subscribes to membership and hooks the
+        #: fabric's pipeline, both of which must exist — and before any
+        #: ``add_service``, so every event bus captures the profiler.
+        self.observatory: Optional[Observatory] = None
+        self.flight: Any = None
+        self._slo: Any = None
+        if observatory:
+            config = (observatory
+                      if isinstance(observatory, ObservatoryConfig)
+                      else None)
+            self.observatory = Observatory(self, config)
+            self.flight = self.observatory.flight
+            self._slo = self.observatory.slo
 
     # ------------------------------------------------------------------
     # Service construction
@@ -407,11 +433,13 @@ class Deployment:
         group = self.registry.lookup(service)
         start = self.runtime.now()
         result = await grpc.call(op, args, group)
+        latency = self.runtime.now() - start
         self.metrics.counter(f"{prefix}.calls").inc()
         self.metrics.counter(
             f"{prefix}.status.{result.status.value}").inc()
-        self.metrics.histogram(f"{prefix}.latency").observe(
-            self.runtime.now() - start)
+        self.metrics.histogram(f"{prefix}.latency").observe(latency)
+        if self._slo is not None:
+            self._slo.observe(service, latency)
         if cache is not None and result.ok:
             cache.put(client_pid, result.id, result)
             if retry_of is not None:
@@ -468,6 +496,9 @@ class Deployment:
                 f"pids {missing} run no server composite for it")
         self.registry.bind(service, group, replace=True)
         svc.group = group
+        if self.flight is not None:
+            self.flight.note("rebind", service=service,
+                             members=sorted(group.members))
         return group
 
     # ------------------------------------------------------------------
@@ -485,9 +516,20 @@ class Deployment:
 
     def publish_runtime_stats(self) -> None:
         """Snapshot the runtime's scheduler counters into ``kernel.*``
-        gauges, so they ride along in metric exports."""
+        gauges (and, when enabled, the observatory's instruments), so
+        they ride along in metric exports."""
         for name, value in self.runtime.stats().items():
             self.metrics.gauge(f"kernel.{name}").set(value)
+        if self.observatory is not None:
+            self.observatory.publish()
+
+    def render_report(self) -> str:
+        """The observatory's one-page deployment health report."""
+        if self.observatory is None:
+            raise ReproError(
+                "the observatory is not enabled (construct the "
+                "deployment with observatory=True)")
+        return self.observatory.render_report()
 
     def export_trace(self, stream) -> int:
         """Write the recorded trace + metrics as JSONL; returns the line
@@ -574,8 +616,11 @@ class Deployment:
 
         Only needed when an experiment intentionally ends with calls
         still in progress (overload studies); normal runs drain
-        naturally.
+        naturally.  Also releases the observatory's process-global
+        marshaller hook.
         """
+        if self.observatory is not None:
+            self.observatory.close()
         self.runtime.kernel.shutdown()
 
     # ------------------------------------------------------------------

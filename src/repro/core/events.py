@@ -108,10 +108,12 @@ class EventBus:
         # so cancel_event() from interleaved tasks cannot cross wires.
         self._active: Dict[int, List[_Dispatch]] = {}
         self._timeout_regs: List[Registration] = []
-        # Observability: the recorder is resolved ONCE here (attach-time
-        # check; see Runtime.attach_obs).  ``None`` keeps every dispatch
+        # Observability: the recorder and the kernel profiler are
+        # resolved ONCE here (attach-time check; see Runtime.attach_obs
+        # and Runtime.attach_profiler).  ``None`` keeps every dispatch
         # on the untraced fast path.
         self._obs = getattr(runtime, "obs", None)
+        self._prof = getattr(runtime, "profiler", None)
         #: Process id of the owning node, for trace attribution;
         #: composites bound to a node set this (-1 = unowned bus).
         self.node_id = -1
@@ -211,7 +213,7 @@ class EventBus:
         time, so registrations made by handlers take effect from the next
         occurrence of the event.
         """
-        if self._obs is not None:
+        if self._obs is not None or self._prof is not None:
             return await self._trigger_traced(event, *args)
         snapshot = list(self._handlers.get(event, []))
         if not snapshot:
@@ -232,8 +234,10 @@ class EventBus:
     async def _trigger_traced(self, event: str, *args: Any) -> bool:
         """The traced twin of :meth:`trigger`: identical semantics, plus
         one structured record (with virtual-time duration, owner and
-        priority) per handler invocation."""
+        priority) per handler invocation and/or one profiler frame per
+        handler site."""
         obs = self._obs
+        prof = self._prof
         snapshot = list(self._handlers.get(event, []))
         if not snapshot:
             return True
@@ -246,11 +250,21 @@ class EventBus:
                 if dispatch.cancelled:
                     break
                 start = self.runtime.now()
-                await reg.handler(*args)
-                obs.record_handler(
-                    event, reg.owner, _handler_name(reg.handler),
-                    reg.priority, start, self.runtime.now(),
-                    node=self.node_id, cancelled=dispatch.cancelled)
+                if prof is not None:
+                    prof.handler_enter(task_key, reg.owner,
+                                       _handler_name(reg.handler))
+                    try:
+                        await reg.handler(*args)
+                    finally:
+                        prof.handler_exit(task_key,
+                                          self.runtime.now() - start)
+                else:
+                    await reg.handler(*args)
+                if obs is not None:
+                    obs.record_handler(
+                        event, reg.owner, _handler_name(reg.handler),
+                        reg.priority, start, self.runtime.now(),
+                        node=self.node_id, cancelled=dispatch.cancelled)
         finally:
             self._pop_dispatch(task_key, stack, dispatch)
         return not dispatch.cancelled
@@ -308,13 +322,21 @@ class EventBus:
         task_key = id(self.runtime.current_handle_nowait())
         stack = self._active.setdefault(task_key, [])
         stack.append(dispatch)
-        start = self.runtime.now() if self._obs is not None else 0.0
+        obs = self._obs
+        prof = self._prof
+        start = (self.runtime.now()
+                 if obs is not None or prof is not None else 0.0)
+        if prof is not None:
+            prof.handler_enter(task_key, reg.owner,
+                               _handler_name(reg.handler))
         try:
             await reg.handler(*args)
         finally:
+            if prof is not None:
+                prof.handler_exit(task_key, self.runtime.now() - start)
             self._pop_dispatch(task_key, stack, dispatch)
-            if self._obs is not None:
-                self._obs.record_handler(
+            if obs is not None:
+                obs.record_handler(
                     event, reg.owner, _handler_name(reg.handler),
                     reg.priority, start, self.runtime.now(),
                     node=self.node_id, cancelled=dispatch.cancelled)
@@ -359,13 +381,21 @@ class EventBus:
         task_key = id(self.runtime.current_handle_nowait())
         stack = self._active.setdefault(task_key, [])
         stack.append(dispatch)
-        start = self.runtime.now() if self._obs is not None else 0.0
+        obs = self._obs
+        prof = self._prof
+        start = (self.runtime.now()
+                 if obs is not None or prof is not None else 0.0)
+        if prof is not None:
+            prof.handler_enter(task_key, reg.owner,
+                               _handler_name(reg.handler))
         try:
             await reg.handler()
         finally:
+            if prof is not None:
+                prof.handler_exit(task_key, self.runtime.now() - start)
             self._pop_dispatch(task_key, stack, dispatch)
-            if self._obs is not None:
-                self._obs.record_handler(
+            if obs is not None:
+                obs.record_handler(
                     TIMEOUT, reg.owner, _handler_name(reg.handler),
                     reg.priority, start, self.runtime.now(),
                     node=self.node_id, cancelled=dispatch.cancelled)

@@ -192,6 +192,11 @@ class WirePipeline:
         #: Plain path: no stage is active, sends go straight down.
         self._passthrough = not self.batch and self.queue_depth == 0
         self._links: Dict[Tuple[ProcessId, ProcessId], _Link] = {}
+        #: The observatory's flight recorder, or None.  Attached by
+        #: :class:`repro.obs.observatory.Observatory`; records the first
+        #: fast-lane activation per link and every backpressure stall.
+        self.flight: Any = None
+        self._fastlane_noted: set = set()
 
     # ------------------------------------------------------------------
     # Sending
@@ -209,6 +214,11 @@ class WirePipeline:
             # Control fast lane: no coalescing, no budget — a failure
             # detector's beats must not queue behind bulk payloads.
             self.metrics.counter("net.fastlane.sends").inc()
+            if (self.flight is not None
+                    and (src, dst) not in self._fastlane_noted):
+                self._fastlane_noted.add((src, dst))
+                self.flight.note("fastlane", src=src, dst=dst,
+                                 payload=type(payload).__name__)
             self.fabric.send(src, dst, payload)
             return
         if self._passthrough:
@@ -218,6 +228,9 @@ class WirePipeline:
         if link.credits is not None:
             if link.credits.locked():
                 self.metrics.counter("net.queue.waits").inc()
+                if self.flight is not None:
+                    self.flight.note("backpressure", src=src, dst=dst,
+                                     inflight=link.inflight)
             await link.credits.acquire()
             link.inflight += 1
             link.depth_gauge.set(link.inflight)

@@ -14,7 +14,13 @@ fabric:
   and virtual-time histograms, also backing the network fabric's
   counters;
 * **exporters** (:mod:`repro.obs.export`) — JSONL dump, per-call flame
-  summary, and the ``python -m repro trace <config>`` CLI.
+  summary, and the ``python -m repro trace <config>`` CLI;
+* the **observatory** (:mod:`repro.obs.observatory`) — the deployment
+  measurement plane: a sampling kernel profiler
+  (:mod:`repro.obs.profiler`), per-key load accounting
+  (:mod:`repro.obs.loadstats`), windowed SLO tracking
+  (:mod:`repro.obs.slo`), a bounded flight recorder
+  (:mod:`repro.obs.flight`), and the ``python -m repro report`` CLI.
 
 Disabled is the default and costs (nearly) nothing: the recorder is
 checked once at :meth:`~repro.runtime.base.Runtime.attach_obs` time and
@@ -29,7 +35,11 @@ from repro.obs.export import (
     span_trees,
     to_jsonl,
 )
+from repro.obs.flight import FlightRecorder, live_recorders
+from repro.obs.loadstats import KeyLoadTracker, SpaceSaving
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observatory import Observatory, ObservatoryConfig
+from repro.obs.profiler import KernelProfiler
 from repro.obs.recorder import (
     CTX_KEY,
     EventRecord,
@@ -42,20 +52,30 @@ from repro.obs.registry import (
     register_protocol,
     registered_protocols,
 )
+from repro.obs.slo import SloBreach, SloTracker
 
 __all__ = [
     "CTX_KEY",
     "Counter",
     "EventRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "KernelProfiler",
+    "KeyLoadTracker",
     "MetricsRegistry",
+    "Observatory",
+    "ObservatoryConfig",
     "Recorder",
+    "SloBreach",
+    "SloTracker",
+    "SpaceSaving",
     "Span",
     "SpanContext",
     "SpanNode",
     "format_flame",
     "is_registered",
+    "live_recorders",
     "read_jsonl",
     "register_protocol",
     "registered_protocols",

@@ -10,12 +10,19 @@ increments them on every message even when tracing is disabled.
 
 Histograms record *virtual-time* observations (handler durations, span
 lengths); :meth:`Histogram.summary` reports count/sum/min/max/mean and
-the interpolation-free percentiles the benchmarks quote.
+the interpolation-free percentiles the benchmarks quote.  Raw-sample
+storage is bounded by a deterministic reservoir (seeded per instrument
+name, Vitter's Algorithm R): below the cap every observation is kept
+exactly — which is what keeps the seeded benchmarks byte-identical —
+and beyond it percentiles come from a uniform sample while count, sum,
+mean, min and max stay exact.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+import random
+import zlib
+from typing import Any, Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -55,30 +62,72 @@ class Gauge:
 class Histogram:
     """A distribution of virtual-time observations.
 
-    Stores the raw values (simulation runs are small enough that exact
-    percentiles beat bucketing) and summarizes on demand.
+    Keeps every raw value exactly up to ``reservoir`` samples (runs
+    small enough for exact percentiles stay exact), then degrades to a
+    seeded uniform reservoir (Algorithm R) so memory is bounded however
+    long an experiment runs.  ``count``/``total``/``mean`` and min/max
+    are tracked exactly regardless; only the percentiles become sampled
+    beyond the cap.  The RNG is seeded from the instrument name, so two
+    runs of the same workload summarize identically.
     """
 
-    __slots__ = ("name", "_values")
+    __slots__ = ("name", "_values", "_count", "_sum", "_min", "_max",
+                 "_cap", "_rng")
 
-    def __init__(self, name: str):
+    #: Default raw-sample cap; far above what any shipped benchmark
+    #: observes per instrument, so existing summaries are unchanged.
+    DEFAULT_RESERVOIR = 65536
+
+    def __init__(self, name: str, *, reservoir: Optional[int] = None):
         self.name = name
+        cap = self.DEFAULT_RESERVOIR if reservoir is None else reservoir
+        if cap < 1:
+            raise ValueError("histogram reservoir must be >= 1")
+        self._cap = cap
         self._values: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+        # Lazily created: most histograms never reach the cap.
+        self._rng: Optional[random.Random] = None
 
     def observe(self, value: float) -> None:
-        self._values.append(value)
+        count = self._count = self._count + 1
+        self._sum += value
+        if count == 1:
+            self._min = self._max = value
+        elif value < self._min:
+            self._min = value
+        elif value > self._max:
+            self._max = value
+        if len(self._values) < self._cap:
+            self._values.append(value)
+            return
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = random.Random(
+                zlib.crc32(self.name.encode("utf-8")) ^ self._cap)
+        slot = rng.randrange(count)
+        if slot < self._cap:
+            self._values[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self._values)
+        return self._sum
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self._values else 0.0
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def samples(self) -> List[float]:
+        """The retained raw values (exact below the reservoir cap)."""
+        return list(self._values)
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile (``p`` in [0, 100]); 0 when empty."""
@@ -90,14 +139,14 @@ class Histogram:
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
-        if not self._values:
+        if not self._count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
                     "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": min(self._values),
-            "max": max(self._values),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
             "mean": self.mean,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
@@ -117,10 +166,11 @@ class MetricsRegistry:
     ``net.send`` or ``handler.Reliable_Communication``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, default_reservoir: Optional[int] = None) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._default_reservoir = default_reservoir
 
     # -- instrument access (create on first use) -------------------------
 
@@ -139,7 +189,8 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         inst = self._histograms.get(name)
         if inst is None:
-            inst = self._histograms[name] = Histogram(name)
+            inst = self._histograms[name] = Histogram(
+                name, reservoir=self._default_reservoir)
         return inst
 
     # -- read-only views --------------------------------------------------
@@ -151,6 +202,9 @@ class MetricsRegistry:
 
     def counter_names(self, prefix: str = "") -> List[str]:
         return [n for n in self._counters if n.startswith(prefix)]
+
+    def histogram_names(self, prefix: str = "") -> List[str]:
+        return [n for n in self._histograms if n.startswith(prefix)]
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Everything, as plain data (what the exporters serialize)."""

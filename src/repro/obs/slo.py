@@ -1,0 +1,155 @@
+"""Windowed SLO tracking: rolling latency watermarks and breach events.
+
+A deployment-wide histogram answers "what was the p99 over the whole
+run"; an operator needs "what is the p99 *now*, and when did it cross
+the line".  :class:`SloTracker` keeps one bounded rolling window of the
+most recent latencies per service (fed from the deployment's call path,
+the same observation the ``service.<name>.latency`` histogram gets) and
+recomputes the p50/p95/p99 watermarks on each observation once the
+window holds enough samples.
+
+Crossing a configured threshold *latches* a breach: one
+:class:`SloBreach` is recorded per excursion (the latch re-arms when the
+watermark drops back under), counted in ``obs.slo.breaches``, and the
+``on_breach`` callback fires — the observatory points it at the flight
+recorder's dump, so the control-plane history leading up to the breach
+is preserved exactly when it is worth reading.
+
+Enabled-only by design: the tracker exists only inside an observatory,
+and the deployment's call path guards it with the usual attach-time
+``is None`` test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = ["SloTracker", "SloBreach"]
+
+#: The watermarks every window reports.
+PERCENTILES = (50, 95, 99)
+
+
+@dataclass(frozen=True)
+class SloBreach:
+    """One latched threshold excursion."""
+
+    time: float
+    service: str
+    percentile: int
+    value: float
+    threshold: float
+
+
+def _nearest_rank(ordered: List[float], p: float) -> float:
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(p / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class SloTracker:
+    """Rolling latency windows with threshold breach detection.
+
+    ``thresholds`` maps a percentile (50/95/99) to the latency bound in
+    virtual seconds, applied to every service; ``None`` disables breach
+    detection (watermarks still track).  ``min_samples`` delays
+    judgement until a window is statistically meaningful.
+    """
+
+    def __init__(self, metrics: Any, *, window: int = 128,
+                 thresholds: Optional[Dict[int, float]] = None,
+                 min_samples: int = 16,
+                 clock: Callable[[], float] = lambda: 0.0):
+        if window < 1:
+            raise ValueError("slo window must be >= 1")
+        self.window = window
+        self.min_samples = max(1, min_samples)
+        self.thresholds = dict(thresholds) if thresholds else {}
+        for p in self.thresholds:
+            if p not in PERCENTILES:
+                raise ValueError(f"unsupported SLO percentile p{p}; "
+                                 f"choose from {PERCENTILES}")
+        self.metrics = metrics
+        self.clock = clock
+        self.breaches: List[SloBreach] = []
+        #: Breach callback (the observatory wires the flight-recorder
+        #: dump here); called with the fresh :class:`SloBreach`.
+        self.on_breach: Optional[Callable[[SloBreach], None]] = None
+        self._windows: Dict[str, Deque[float]] = {}
+        #: (service, percentile) pairs currently over their threshold.
+        self._latched: set = set()
+        self._observed = metrics.counter("obs.slo.observed")
+        self._breached = metrics.counter("obs.slo.breaches")
+
+    # ------------------------------------------------------------------
+
+    def observe(self, service: str, latency: float) -> None:
+        """Fold one call latency into the service's rolling window."""
+        self._observed.inc()
+        window = self._windows.get(service)
+        if window is None:
+            window = self._windows[service] = deque(maxlen=self.window)
+        window.append(latency)
+        if not self.thresholds or len(window) < self.min_samples:
+            return
+        ordered = sorted(window)
+        for p, bound in self.thresholds.items():
+            value = _nearest_rank(ordered, p)
+            latch = (service, p)
+            if value > bound:
+                if latch not in self._latched:
+                    self._latched.add(latch)
+                    breach = SloBreach(self.clock(), service, p, value,
+                                       bound)
+                    self.breaches.append(breach)
+                    self._breached.inc()
+                    if self.on_breach is not None:
+                        self.on_breach(breach)
+            else:
+                self._latched.discard(latch)
+
+    # ------------------------------------------------------------------
+
+    def services(self) -> List[str]:
+        return sorted(self._windows)
+
+    def watermarks(self, service: str) -> Dict[str, float]:
+        """Current p50/p95/p99 over the service's rolling window."""
+        window = self._windows.get(service)
+        if not window:
+            return {f"p{p}": 0.0 for p in PERCENTILES}
+        ordered = sorted(window)
+        return {f"p{p}": _nearest_rank(ordered, p) for p in PERCENTILES}
+
+    def publish(self) -> None:
+        """Snapshot every window's watermarks into ``obs.slo.*`` gauges."""
+        for service in self._windows:
+            marks = self.watermarks(service)
+            for label, value in marks.items():
+                self.metrics.gauge(
+                    f"obs.slo.{label}.{service}").set(value)
+
+    def report_lines(self) -> List[str]:
+        """The SLO section of the deployment health report."""
+        if not self._windows:
+            return ["no latencies observed"]
+        lines = []
+        for service in self.services():
+            marks = self.watermarks(service)
+            n = len(self._windows[service])
+            lines.append(
+                f"{service}: window n={n}  "
+                + "  ".join(f"{label}={value * 1000:.2f}ms"
+                            for label, value in marks.items()))
+        for breach in self.breaches:
+            lines.append(
+                f"BREACH t={breach.time:.3f}s {breach.service} "
+                f"p{breach.percentile}={breach.value * 1000:.2f}ms "
+                f"> {breach.threshold * 1000:.2f}ms")
+        if not self.breaches and self.thresholds:
+            bounds = ", ".join(f"p{p}<={v * 1000:.1f}ms"
+                               for p, v in sorted(self.thresholds.items()))
+            lines.append(f"no breaches (thresholds: {bounds})")
+        return lines

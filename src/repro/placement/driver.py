@@ -46,6 +46,8 @@ class RebindDriver:
         self.metrics = deployment.metrics
         #: Shards with a drain scheduled or running (no double drains).
         self._draining: Set[str] = set()
+        #: The observatory's flight recorder, or None.
+        self._flight = getattr(deployment, "flight", None)
         deployment.watch_membership(self._on_change)
 
     # ------------------------------------------------------------------
@@ -74,6 +76,9 @@ class RebindDriver:
         if (self.plane is not None and service.name in self.plane.ring
                 and service.name not in self._draining):
             self._draining.add(service.name)
+            if self._flight is not None:
+                self._flight.note("drain-scheduled",
+                                  service=service.name, pid=pid)
             self.deployment.runtime.spawn(
                 self._drain(service.name),
                 name=f"drain-{service.name}", daemon=True)

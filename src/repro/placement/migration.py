@@ -106,6 +106,10 @@ class KeyMigration:
         #: planned sources.
         self.sources: List[str] = (list(sources) if sources is not None
                                    else sorted({m.source for m in moves}))
+        #: The observatory's flight recorder, or None: each phase leaves
+        #: one causal breadcrumb so a post-mortem dump shows where a
+        #: migration was when something else went wrong.
+        self._flight = getattr(deployment, "flight", None)
 
     # ------------------------------------------------------------------
     # Phases (driven by the placement plane)
@@ -117,6 +121,9 @@ class KeyMigration:
         The source keeps serving; writes racing this phase are repaired
         by :meth:`catch_up`.
         """
+        if self._flight is not None:
+            self._flight.note("migration", phase="warm_transfer",
+                              epoch=self.epoch, moves=len(self.moves))
         for move in self.moves:
             move.state = MigrationState.SNAPSHOT
             move.snapshot = await self._read_source(move)
@@ -136,6 +143,9 @@ class KeyMigration:
         planned move get a fresh :class:`ShardMove` so cutover retires
         them from the source too.
         """
+        if self._flight is not None:
+            self._flight.note("migration", phase="catch_up",
+                              epoch=self.epoch, sources=len(self.sources))
         by_source: Dict[str, List[ShardMove]] = {}
         for move in self.moves:
             move.state = MigrationState.CATCHUP
@@ -186,6 +196,9 @@ class KeyMigration:
 
     async def cutover(self) -> None:
         """Phase 4: retire the moved range from every source."""
+        if self._flight is not None:
+            self._flight.note("migration", phase="cutover",
+                              epoch=self.epoch, moves=len(self.moves))
         for move in self.moves:
             move.state = MigrationState.CUTOVER
             if move.source not in self.dead:
@@ -201,6 +214,10 @@ class KeyMigration:
             move.state = MigrationState.DONE
             self.metrics.counter("placement.migration.keys_moved").inc(
                 move.moved)
+        if self._flight is not None:
+            self._flight.note("migration", phase="done",
+                              epoch=self.epoch,
+                              moved=self.moved_total)
 
     # ------------------------------------------------------------------
     # Source reading: RPC when alive, stable-store salvage when not

@@ -60,6 +60,9 @@ class PlacementPlane:
         #: depend on this knob; it only widens the quiet window.
         self.drain_grace = drain_grace
         self.metrics = deployment.metrics
+        observatory = getattr(deployment, "observatory", None)
+        #: The observatory's hot-key tracker, or None (attach-once).
+        self._load = observatory.load if observatory is not None else None
         #: Shard services known to be unreachable (RPC replaced by
         #: stable-store salvage).
         self.dead: Set[str] = set()
@@ -114,6 +117,8 @@ class PlacementPlane:
         service = self.ring.route(key_str)
         self.metrics.counter(
             f"placement.router.keys_routed.{service}").inc()
+        if self._load is not None:
+            self._load.note(service, key_str)
         self._inflight[key_str] = self._inflight.get(key_str, 0) + 1
         try:
             return await self.deployment.call(client_pid, service, op,

@@ -27,6 +27,9 @@ class Runtime(abc.ABC):
     #: The attached observability recorder; ``None`` when disabled.
     _obs: Any = None
 
+    #: The attached kernel profiler; ``None`` when disabled.
+    _profiler: Any = None
+
     # -- observability ---------------------------------------------------
 
     def attach_obs(self, recorder: Any) -> None:
@@ -48,6 +51,21 @@ class Runtime(abc.ABC):
     def obs(self) -> Any:
         """The enabled recorder, or ``None`` (tracing disabled)."""
         return self._obs
+
+    def attach_profiler(self, profiler: Any) -> None:
+        """Install a :class:`~repro.obs.profiler.KernelProfiler`.
+
+        Same contract as :meth:`attach_obs`: event buses capture
+        ``runtime.profiler`` once at construction, so attach before
+        building protocol stacks.  Concrete runtimes additionally hook
+        their scheduler's step path.
+        """
+        self._profiler = profiler
+
+    @property
+    def profiler(self) -> Any:
+        """The attached profiler, or ``None`` (profiling disabled)."""
+        return self._profiler
 
     def stats(self) -> dict:
         """Scheduler-level counters for the metrics exporters.

@@ -88,6 +88,12 @@ class SimRuntime(Runtime):
 
     # -- observability ---------------------------------------------------
 
+    def attach_profiler(self, profiler) -> None:
+        """Install the profiler and hook the kernel's step path."""
+        super().attach_profiler(profiler)
+        self.kernel.profile_hook = (profiler.on_step
+                                    if profiler is not None else None)
+
     def stats(self) -> dict:
         """The kernel's scheduler counters (steps, spawns, timer fires)."""
         return self.kernel.stats()

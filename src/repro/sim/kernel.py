@@ -249,6 +249,10 @@ class Kernel:
         self.steps_executed = 0
         self.timers_scheduled = 0
         self.timers_fired = 0
+        #: Step-sampling hook (``hook(task)``), installed by the
+        #: observatory's kernel profiler via ``SimRuntime.
+        #: attach_profiler``; ``None`` costs one is-None test per step.
+        self.profile_hook: Optional[Callable[[Task], None]] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -432,6 +436,8 @@ class Kernel:
         self._current = task
         task.state = _RUNNING
         self.steps_executed += 1
+        if self.profile_hook is not None:
+            self.profile_hook(task)
         try:
             while True:
                 try:

@@ -10,16 +10,40 @@ list, tuple, dict with string keys).
 Determinism matters for the reproduction: dict entries are encoded in
 sorted key order, so the same logical arguments always produce the same
 bytes — and therefore the same message sizes in the benchmarks.
+
+Marshalling is the one real-CPU cost every call pays twice, so the
+observatory's kernel profiler hooks it: :func:`install_profiler`
+installs a module-level hook (this module has no runtime reference, and
+the simulation is single-threaded, so a global is correct) and each
+call then reports its byte count and wall-clock.  With no profiler
+installed — the default — the cost is a single ``is None`` test per
+call, guarded by ``tests/test_obs_overhead.py``.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Tuple
+from time import perf_counter
+from typing import Any, Optional, Tuple
 
 from repro.errors import MarshalError
 
-__all__ = ["marshal", "unmarshal", "marshalled_size"]
+__all__ = ["marshal", "unmarshal", "marshalled_size", "install_profiler"]
+
+#: The installed profiler (``on_marshal``/``on_unmarshal`` hooks), or
+#: ``None``.  Owned by :class:`repro.obs.observatory.Observatory`.
+_PROFILER: Optional[Any] = None
+
+
+def install_profiler(profiler: Optional[Any]) -> Optional[Any]:
+    """Install (or with ``None`` remove) the marshalling profiler.
+
+    Returns the previously installed profiler so callers can restore it.
+    """
+    global _PROFILER
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous
 
 _NONE = b"N"
 _TRUE = b"T"
@@ -35,17 +59,29 @@ _DICT = b"M"
 
 def marshal(value: Any) -> bytes:
     """Encode ``value`` into the untyped argument field."""
+    prof = _PROFILER
+    if prof is None:
+        out = bytearray()
+        _encode(value, out)
+        return bytes(out)
+    started = perf_counter()
     out = bytearray()
     _encode(value, out)
-    return bytes(out)
+    data = bytes(out)
+    prof.on_marshal(len(data), perf_counter() - started)
+    return data
 
 
 def unmarshal(data: bytes) -> Any:
     """Decode an argument field; rejects trailing garbage."""
+    prof = _PROFILER
+    started = perf_counter() if prof is not None else 0.0
     value, offset = _decode(data, 0)
     if offset != len(data):
         raise MarshalError(
             f"{len(data) - offset} trailing bytes after value")
+    if prof is not None:
+        prof.on_unmarshal(len(data), perf_counter() - started)
     return value
 
 

@@ -1,0 +1,43 @@
+"""Suite-wide pytest wiring for the observatory.
+
+Two pieces:
+
+* **Flight-recorder dumps on failure** — a ``pytest_runtest_makereport``
+  hookwrapper walks :func:`repro.obs.flight.live_recorders` whenever a
+  test's call phase fails and attaches each non-empty tape to the
+  report, so the control-plane history leading up to the failure ships
+  with the failure output (``-ra`` / CI logs) without any per-test
+  plumbing.
+* **Marshal-hook hygiene** — the stub marshaller's profiler hook is a
+  process-global (:func:`repro.stubs.marshal.install_profiler`); an
+  autouse fixture detaches it after every test so an observatory leaked
+  by one test can never bill marshalling to another.
+"""
+
+import importlib
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _detach_marshal_profiler():
+    yield
+    # importlib, not ``from repro.stubs import marshal``: the package
+    # re-exports the marshal *function* under that name.
+    marshal = importlib.import_module("repro.stubs.marshal")
+    marshal.install_profiler(None)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    from repro.obs.flight import live_recorders
+    for index, recorder in enumerate(live_recorders()):
+        tape = recorder.format_dump()
+        if tape:
+            report.sections.append(
+                (f"flight recorder #{index} "
+                 f"({len(recorder)}/{recorder.capacity} events)", tape))

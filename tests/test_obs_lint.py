@@ -86,6 +86,19 @@ def test_metric_catalog_includes_the_wire_pipeline_namespaces():
     assert prefixes.index("net.batch.") < prefixes.index("net.")
 
 
+def test_metric_catalog_includes_the_observatory_namespaces():
+    for prefix in ("placement.load.", "obs.profile.", "obs.slo.",
+                   "obs.recorder.", "obs."):
+        assert prefix in METRIC_NAMESPACES
+    prefixes = known_metric_prefixes()
+    assert prefixes.index("placement.load.") < prefixes.index("placement.")
+    assert prefixes.index("obs.slo.") < prefixes.index("obs.")
+    ok = check_metric_names(
+        ["placement.load.noted", "placement.load.volume.shard-0",
+         "obs.profile.steps", "obs.slo.p99.kv", "obs.recorder.notes"])
+    assert ok.ok
+
+
 def test_check_metric_names_accepts_and_flags():
     ok = check_metric_names(["net.batch.envelopes", "net.queue.waits",
                              "net.fastlane.sends", "net.send",
@@ -112,3 +125,22 @@ def test_live_deployment_instruments_stay_inside_the_catalog():
              + list(snap["histograms"]))
     assert names  # something was actually instrumented
     check_metric_names(names).raise_if_failed()
+
+
+def test_observatory_instruments_stay_inside_the_catalog():
+    from repro import Deployment, ServiceSpec
+    from repro.apps import KVStore
+
+    deployment = Deployment(membership="oracle", observatory=True)
+    deployment.add_service("kv", ServiceSpec(), KVStore, servers=2)
+    deployment.call_and_run("kv", "put", {"key": "k", "value": 1})
+    deployment.publish_runtime_stats()
+    snap = deployment.metrics.snapshot()
+    names = [name for kind in snap.values() for name in kind]
+    # The observatory actually landed instruments in its namespaces...
+    assert any(name.startswith("obs.profile.") for name in names)
+    assert any(name.startswith("obs.slo.") for name in names)
+    assert any(name.startswith("obs.recorder.") for name in names)
+    # ...and every one of them is inside the documented catalog.
+    check_metric_names(names).raise_if_failed()
+    deployment.shutdown()

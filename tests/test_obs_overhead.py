@@ -97,6 +97,46 @@ def test_enabled_recorder_is_installed():
     assert EventBus(runtime)._obs is rec
 
 
+def test_observatory_hooks_absent_by_default():
+    """Every observatory seam holds None unless observatory=True.
+
+    The profiler, the SLO tracker, the flight recorder and the load
+    tracker each ride an attach-once hook; a default deployment must
+    leave all of them unresolved so the hot paths stay on their single
+    ``is None`` test (kernel step, event dispatch, wire send, route,
+    call return, marshal).
+    """
+    import importlib
+
+    from repro import Deployment
+
+    deployment = Deployment()
+    assert deployment.observatory is None
+    assert deployment.flight is None       # rebinds go untaped
+    assert deployment._slo is None         # call latencies unobserved
+    assert deployment.runtime.profiler is None
+    assert deployment.runtime.kernel.profile_hook is None
+    assert deployment.fabric.pipeline.flight is None
+    marshal = importlib.import_module("repro.stubs.marshal")
+    assert marshal._PROFILER is None
+    bus = EventBus(deployment.runtime)
+    assert bus._obs is None and bus._prof is None
+    deployment.shutdown()
+
+
+def test_disabled_marshal_loop_does_not_profile():
+    """The marshaller's module-global hook: nothing recorded, and the
+    disabled loop costs a single global read per call."""
+    import importlib
+
+    marshal = importlib.import_module("repro.stubs.marshal")
+    assert marshal._PROFILER is None
+    payload = {"key": "k", "value": list(range(8))}
+    for _ in range(100):
+        marshal.unmarshal(marshal.marshal(payload))
+    assert marshal._PROFILER is None       # round-trips installed nothing
+
+
 def test_disabled_dispatch_overhead_under_5_percent():
     # Interleaved min-of-k: the minimum over several alternating samples
     # discards scheduler interference; retry the whole comparison a
