@@ -1,0 +1,193 @@
+"""X17 — call hot-path throughput: wall-clock ops/sec, open loop.
+
+Every other benchmark in the suite reports *virtual-time* metrics; this
+one deliberately reports **wall clock**, because it exists to measure
+the hot-path speed program (kernel scheduler, event dispatch,
+marshalling, wire pipeline) rather than any protocol property.  The
+virtual-time results — latencies, failure counts, message counts — are
+asserted identical across refactors; the wall-clock ops/sec is the
+number the speed program moves.
+
+Workload: an open-loop driver.  N client lanes each issue calls at a
+fixed virtual-time arrival interval *without waiting for completions*
+(each call runs in its own task), against a sharded KV deployment.  A
+per-lane admission window bounds in-flight calls purely as a memory
+guard; arrivals are paced well below service capacity so the window
+almost never binds and the workload stays open-loop.  Payloads carry a
+nested dict with a string blob so the stub marshaller is a realistic
+fraction of the per-call cost.
+
+Modes:
+
+* full (default): 10^6 calls — the published trajectory point;
+* ``REPRO_BENCH_TINY=1``: 20k calls — the CI perf-smoke point;
+* ``REPRO_X17_PROFILE=1``: 40k calls under the observatory's kernel
+  profiler; writes ``x17_hotpath_profile_<phase>.txt`` (collapsed
+  stacks + profiler report) instead of a trajectory point.
+
+The trajectory file ``BENCH_x17_hotpath.json`` keeps *two* points: the
+committed ``pre-refactor`` baseline (measured on the tree as it stood
+before the hot-path refactor, preserved across runs) and the current
+measurement (phase from ``REPRO_X17_PHASE``, default ``current``), so
+the before/after comparison travels with the repo.
+"""
+
+import json
+import os
+import time
+
+from _common import (RESULTS_DIR, attach, percentiles, run_once,
+                     save_bench_json, save_result)
+
+from repro import Deployment, LinkSpec, ServiceSpec
+from repro.apps import KVStore, ShardedKV, build_sharded_kv
+from repro.bench import banner, render_table
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+PROFILE = os.environ.get("REPRO_X17_PROFILE") == "1"
+PHASE = os.environ.get("REPRO_X17_PHASE", "current")
+
+LINK = LinkSpec(delay=0.001, jitter=0.0005)
+N_SHARDS = 8
+N_CLIENTS = 16
+TOTAL_OPS = 20_000 if TINY else (40_000 if PROFILE else 1_000_000)
+KEYS_PER_LANE = 512            # bounds the stores' resident key count
+ARRIVAL_INTERVAL = 0.0005      # virtual seconds between a lane's calls
+WINDOW = 256                   # per-lane in-flight cap (memory guard)
+BLOB = "x" * 64
+
+JSON_PATH = RESULTS_DIR / "BENCH_x17_hotpath.json"
+
+
+def run_point():
+    dep = Deployment(seed=17, default_link=LINK, keep_trace=False,
+                     observatory=PROFILE)
+    spec = ServiceSpec(bounded=30.0, acceptance=1)
+    kv = build_sharded_kv(
+        dep, N_SHARDS, spec=spec, servers_per_shard=1, clients=N_CLIENTS,
+        app_factory=lambda: KVStore(keep_log=False))
+    workers = dep.services[kv.router.services[0]].client_pids
+    per_lane = TOTAL_OPS // N_CLIENTS
+    latencies = []
+    failures = [0]
+    completed = [0]
+
+    async def one_call(view, window, key, i):
+        try:
+            begin = dep.runtime.now()
+            result = await view.put(key, {"n": i, "blob": BLOB})
+            latencies.append(dep.runtime.now() - begin)
+            completed[0] += 1
+            if not result.ok:
+                failures[0] += 1
+        finally:
+            window.release()
+
+    async def lane(pid, lane_no):
+        view = ShardedKV(dep, pid, kv.router)
+        window = dep.runtime.semaphore(WINDOW)
+        for i in range(per_lane):
+            await window.acquire()
+            dep.spawn_client(
+                pid, one_call(view, window,
+                              f"w{lane_no}-k{i % KEYS_PER_LANE}", i))
+            await dep.runtime.sleep(ARRIVAL_INTERVAL)
+        for _ in range(WINDOW):      # drain this lane's window
+            await window.acquire()
+
+    async def scenario():
+        tasks = [dep.spawn_client(pid, lane(pid, lane_no))
+                 for lane_no, pid in enumerate(workers)]
+        for task in tasks:
+            await dep.runtime.join(task)
+
+    virtual_start = dep.runtime.now()
+    wall_start = time.perf_counter()
+    dep.run_scenario(scenario())
+    wall = time.perf_counter() - wall_start
+    virtual = dep.runtime.now() - virtual_start
+    steps = dep.runtime.stats()["steps_executed"]
+    profile_text = None
+    if PROFILE:
+        profiler = dep.observatory.profiler
+        profile_text = "\n".join(
+            ["# bench_x17 hot-path profile — phase: " + PHASE, ""]
+            + profiler.report_lines(top=12)
+            + ["", "# collapsed stacks (self virtual microseconds)",
+               profiler.collapsed()])
+    dep.settle(1.0)
+    dep.shutdown()
+    return {"ops": completed[0],
+            "failures": failures[0],
+            "wall_s": wall,
+            "ops_per_sec_wall": completed[0] / wall,
+            "virtual_s": virtual,
+            "ops_per_sec_virtual": completed[0] / max(1e-9, virtual),
+            "steps": steps,
+            "steps_per_op": steps / max(1, completed[0]),
+            "envelopes": int(dep.metrics.value("net.envelopes")),
+            "latencies": latencies,
+            "profile": profile_text}
+
+
+def _merged_points(current):
+    """The committed pre-refactor baseline survives every re-run."""
+    points = []
+    if JSON_PATH.exists():
+        try:
+            doc = json.loads(JSON_PATH.read_text())
+        except (ValueError, OSError):
+            doc = {}
+        points = [p for p in doc.get("points", [])
+                  if p.get("phase") == "pre-refactor"
+                  and current.get("phase") != "pre-refactor"]
+    points.append(current)
+    return points
+
+
+def test_x17_hotpath(benchmark):
+    row = run_once(benchmark, run_point)
+
+    assert row["failures"] == 0
+    assert row["ops"] == TOTAL_OPS
+
+    if PROFILE:
+        save_result(f"x17_hotpath_profile_{PHASE}", row["profile"])
+        return
+
+    point = {"phase": PHASE,
+             "mode": "tiny" if TINY else "full",
+             "ops": row["ops"],
+             "ops_per_sec_wall": round(row["ops_per_sec_wall"], 1),
+             "wall_s": round(row["wall_s"], 3),
+             "virtual_s": round(row["virtual_s"], 3),
+             "steps_per_op": round(row["steps_per_op"], 2),
+             "envelopes": row["envelopes"],
+             **percentiles(row["latencies"])}
+    points = _merged_points(point)
+
+    baseline = next((p for p in points if p["phase"] == "pre-refactor"
+                     and p.get("mode") == point["mode"]
+                     and p is not point), None)
+    speedup = (point["ops_per_sec_wall"] / baseline["ops_per_sec_wall"]
+               if baseline else None)
+
+    table = render_table(
+        ["phase", "mode", "ops", "ops/s wall", "steps/op", "p95 ms"],
+        [[p["phase"], p.get("mode", "full"), p["ops"],
+          f"{p['ops_per_sec_wall']:.0f}", p.get("steps_per_op", "-"),
+          p.get("p95_ms", "-")] for p in points]
+        + ([["speedup", "", "", f"{speedup:.2f}x", "", ""]]
+           if speedup else []))
+    save_result("x17_hotpath", "\n".join([
+        banner("X17 — call hot-path wall-clock throughput",
+               f"open loop, {TOTAL_OPS} calls over {N_CLIENTS} lanes x "
+               f"{N_SHARDS} shards, arrival interval "
+               f"{ARRIVAL_INTERVAL * 1000:.2f}ms/lane, link "
+               f"{LINK.delay * 1000:.1f}ms"),
+        table]))
+    attach(benchmark, {"ops_per_sec_wall": point["ops_per_sec_wall"],
+                       "steps_per_op": point["steps_per_op"],
+                       **({"speedup": round(speedup, 2)}
+                          if speedup else {})})
+    save_bench_json("x17_hotpath", {"points": points}, tiny=TINY)

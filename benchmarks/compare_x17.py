@@ -1,0 +1,76 @@
+"""Warn-only comparison of a fresh bench_x17 run against the committed point.
+
+Usage::
+
+    python benchmarks/compare_x17.py <committed.json> <fresh.json>
+
+Reads the committed ``BENCH_x17_hotpath.json`` (saved aside before the
+CI run overwrites it) and the freshly produced one, compares wall-clock
+ops/sec, and emits a GitHub Actions ``::warning::`` annotation when the
+fresh number regresses by more than 25%.  Always exits 0: CI runners
+vary wildly in speed, and the committed point may have been measured in
+full mode on a fast dev box while CI runs tiny mode on a shared vCPU —
+the comparison is a tripwire for catastrophic slowdowns, not a gate.
+
+Same-mode points are preferred for the reference (tiny vs tiny beats
+tiny vs full); the ``pre-refactor`` baseline is never used as the
+reference, since regressing toward it is exactly what the warning is
+meant to catch.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.75  # warn when fresh ops/sec drops below 75% of reference
+
+
+def _points(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh).get("points", [])
+    except (OSError, ValueError) as exc:
+        print(f"note: could not read {path}: {exc}")
+        return []
+
+
+def _current(points, mode=None):
+    """The newest non-baseline point, optionally restricted to a mode."""
+    for point in reversed(points):
+        if point.get("phase") == "pre-refactor":
+            continue
+        if mode is not None and point.get("mode") != mode:
+            continue
+        return point
+    return None
+
+
+def main(committed_path, fresh_path):
+    fresh = _current(_points(fresh_path))
+    if fresh is None:
+        print("note: fresh run produced no comparable point; skipping")
+        return 0
+    committed_points = _points(committed_path)
+    reference = (_current(committed_points, mode=fresh.get("mode"))
+                 or _current(committed_points))
+    if reference is None:
+        print("note: no committed point to compare against; skipping")
+        return 0
+    fresh_ops = fresh["ops_per_sec_wall"]
+    ref_ops = reference["ops_per_sec_wall"]
+    ratio = fresh_ops / ref_ops if ref_ops else 1.0
+    same_mode = fresh.get("mode") == reference.get("mode")
+    print(f"bench_x17 ops/sec: fresh={fresh_ops:.0f} "
+          f"({fresh.get('mode')}) vs committed={ref_ops:.0f} "
+          f"({reference.get('mode')}) -> {ratio:.2f}x"
+          + ("" if same_mode else "  [cross-mode: indicative only]"))
+    if ratio < THRESHOLD:
+        print(f"::warning title=bench_x17 hot-path regression::"
+              f"ops/sec is {ratio:.2f}x the committed point "
+              f"({fresh_ops:.0f} vs {ref_ops:.0f}); threshold "
+              f"{THRESHOLD}. CI hardware varies — treat as a tripwire, "
+              f"re-measure locally with the full-mode bench.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1], sys.argv[2]))

@@ -73,7 +73,8 @@ class ServerDispatcher(Protocol):
 
     def __init__(self, node: Node, app: ServerApp, *,
                  service: str = "",
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 keep_log: bool = True):
         super().__init__(f"server@{node.pid}")
         self.node = node
         self.app = app
@@ -81,7 +82,11 @@ class ServerDispatcher(Protocol):
         app.bind(node)
         node.crash_listeners.append(app.on_crash)
         #: Every execution as (op, args) in order — the raw material for
-        #: the unique/atomic execution experiments.
+        #: the unique/atomic execution experiments.  ``keep_log=False``
+        #: (deployments built with ``keep_trace=False``) skips it: a
+        #: million-call perf run would otherwise retain every request's
+        #: args forever, growing each gc generation-2 sweep.
+        self.keep_log = keep_log
         self.execution_log: List[Tuple[str, Any]] = []
         #: Executions per request tag, when args carry a ``tag`` key.
         self.executions_by_tag: Dict[Any, int] = {}
@@ -94,7 +99,8 @@ class ServerDispatcher(Protocol):
 
     async def pop(self, op: str, args: Any) -> Any:
         """The blocking ``Server.pop`` upcall from gRPC."""
-        self.execution_log.append((op, args))
+        if self.keep_log:
+            self.execution_log.append((op, args))
         if self._exec_counter is not None:
             self._exec_counter.inc()
         if isinstance(args, dict) and "tag" in args:

@@ -227,6 +227,12 @@ class Deployment:
         #: retried calls after a rebind are answered here without
         #: re-execution (``reply_cache=0`` disables).
         self.reply_caches: Dict[str, ReplyCache] = {}
+        # Per-service call instruments, resolved once per service name:
+        # (calls Counter, latency histogram name, status-value -> Counter).
+        # Counters are zeroed in place by ``metrics.reset`` so the cached
+        # objects stay valid; histograms are dropped on reset, so only
+        # the prebuilt *name* is cached and the object re-resolved.
+        self._call_instruments: Dict[str, tuple] = {}
         self._reply_cache_capacity = reply_cache
         self.nodes: Dict[int, Node] = {}
         self.demuxes: Dict[int, TypeDemux] = {}
@@ -366,8 +372,11 @@ class Deployment:
             grpc.add(CallObserver(svc.call_log))
         self.routers[pid].attach(svc.name, grpc)
         if app is not None:
-            dispatcher = ServerDispatcher(node, app, service=svc.name,
-                                          metrics=self.metrics)
+            dispatcher = ServerDispatcher(
+                node, app, service=svc.name, metrics=self.metrics,
+                # keep_trace=False marks a long/perf run: don't retain
+                # per-request history anywhere, the execution log included.
+                keep_log=self.fabric.trace.keep_events)
             compose_stack(dispatcher, grpc)  # only links this pair;
             # grpc.lower stays routed through the service demux.
             svc.dispatchers[pid] = dispatcher
@@ -415,15 +424,22 @@ class Deployment:
         the name at servers that never saw the original call.
         """
         svc = self.service(service)
-        prefix = f"service.{service}"
+        instruments = self._call_instruments.get(service)
+        if instruments is None:
+            prefix = f"service.{service}"
+            instruments = (self.metrics.counter(f"{prefix}.calls"),
+                           f"{prefix}.latency", {})
+            self._call_instruments[service] = instruments
+        calls_counter, latency_name, status_counters = instruments
         cache = self.reply_caches.get(service)
         if retry_of is not None and cache is not None:
             cached = cache.get(client_pid, retry_of)
             if cached is not None:
                 self.metrics.counter(
-                    f"{prefix}.reply_cache.hits").inc()
+                    f"service.{service}.reply_cache.hits").inc()
                 return cached
-            self.metrics.counter(f"{prefix}.reply_cache.misses").inc()
+            self.metrics.counter(
+                f"service.{service}.reply_cache.misses").inc()
         grpc = svc.grpcs.get(client_pid)
         if grpc is None:
             raise BindingError(
@@ -434,10 +450,14 @@ class Deployment:
         start = self.runtime.now()
         result = await grpc.call(op, args, group)
         latency = self.runtime.now() - start
-        self.metrics.counter(f"{prefix}.calls").inc()
-        self.metrics.counter(
-            f"{prefix}.status.{result.status.value}").inc()
-        self.metrics.histogram(f"{prefix}.latency").observe(latency)
+        calls_counter.inc()
+        status_counter = status_counters.get(result.status.value)
+        if status_counter is None:
+            status_counter = status_counters[result.status.value] = \
+                self.metrics.counter(
+                    f"service.{service}.status.{result.status.value}")
+        status_counter.inc()
+        self.metrics.histogram(latency_name).observe(latency)
         if self._slo is not None:
             self._slo.observe(service, latency)
         if cache is not None and result.ok:

@@ -103,11 +103,25 @@ class EventBus:
         # a site crash also kills its in-flight timeout handlers.
         self._spawn = spawner or runtime.spawn
         self._handlers: Dict[str, List[Registration]] = {}
+        # Precompiled dispatch tables: event -> priority-ordered tuple of
+        # registrations.  Built lazily on first trigger, invalidated by
+        # register/deregister/clear; ``trigger`` then dispatches straight
+        # off the immutable tuple instead of copying the handler list on
+        # every call (the tuple IS the snapshot).
+        self._tables: Dict[str, Tuple[Registration, ...]] = {}
         self._seq = 0
         # Stack of active dispatches per task, keyed by id(task handle),
         # so cancel_event() from interleaved tasks cannot cross wires.
         self._active: Dict[int, List[_Dispatch]] = {}
-        self._timeout_regs: List[Registration] = []
+        # Free lists for the untraced trigger fast path: steady-state
+        # dispatch pays zero allocations (recycled _Dispatch records and
+        # per-task stack lists).  Bounded so a burst cannot pin memory.
+        self._dispatch_pool: List[_Dispatch] = []
+        self._stack_pool: List[List[_Dispatch]] = []
+        # Armed TIMEOUT registrations keyed by registration seq
+        # (insertion-ordered).  A dict so :meth:`disarm` — called once
+        # per completed bounded call — is O(1) instead of a list scan.
+        self._timeout_regs: Dict[int, Registration] = {}
         # Observability: the recorder and the kernel profiler are
         # resolved ONCE here (attach-time check; see Runtime.attach_obs
         # and Runtime.attach_profiler).  ``None`` keeps every dispatch
@@ -142,7 +156,7 @@ class EventBus:
                                owner)
             reg.timer = self.runtime.call_later(
                 float(priority), lambda: self._fire_timeout(reg))
-            self._timeout_regs.append(reg)
+            self._timeout_regs[reg.seq] = reg
             if self._obs is not None:
                 self._obs.record_event(
                     "register", node=self.node_id, event=TIMEOUT,
@@ -155,6 +169,7 @@ class EventBus:
                            owner)
         self._handlers.setdefault(event, []).append(reg)
         self._handlers[event].sort(key=Registration.sort_key)
+        self._tables.pop(event, None)
         if self._obs is not None:
             self._obs.record_event(
                 "register", node=self.node_id, event=event, owner=owner,
@@ -168,10 +183,10 @@ class EventBus:
         pending TIMEOUT cancels its timer.
         """
         if event == TIMEOUT:
-            for reg in self._timeout_regs:
+            for reg in self._timeout_regs.values():
                 if reg.handler == handler:
                     reg.timer.cancel()
-                    self._timeout_regs.remove(reg)
+                    del self._timeout_regs[reg.seq]
                     self._record_deregister(reg)
                     return True
             return False
@@ -179,6 +194,7 @@ class EventBus:
         for reg in regs:
             if reg.handler == handler:
                 regs.remove(reg)
+                self._tables.pop(event, None)
                 self._record_deregister(reg)
                 return True
         return False
@@ -211,25 +227,56 @@ class EventBus:
         Returns ``True`` if every handler ran, ``False`` if some handler
         cancelled the event.  The handler list is snapshotted at trigger
         time, so registrations made by handlers take effect from the next
-        occurrence of the event.
+        occurrence of the event (the precompiled table is an immutable
+        tuple, so the snapshot is free: a registration mid-dispatch swaps
+        in a new table while the in-flight loop keeps the old one).
         """
         if self._obs is not None or self._prof is not None:
             return await self._trigger_traced(event, *args)
-        snapshot = list(self._handlers.get(event, []))
-        if not snapshot:
+        table = self._tables.get(event)
+        if table is None:
+            table = self._compile(event)
+        if not table:
             return True
-        dispatch = _Dispatch(event)
+        # Recycle dispatch records and stack lists: in steady state the
+        # untraced path allocates nothing per trigger.
+        pool = self._dispatch_pool
+        if pool:
+            dispatch = pool.pop()
+            dispatch.event = event
+            dispatch.cancelled = False
+        else:
+            dispatch = _Dispatch(event)
         task_key = id(self.runtime.current_handle_nowait())
-        stack = self._active.setdefault(task_key, [])
+        stack = self._active.get(task_key)
+        if stack is None:
+            stacks = self._stack_pool
+            stack = stacks.pop() if stacks else []
+            self._active[task_key] = stack
         stack.append(dispatch)
         try:
-            for reg in snapshot:
-                if dispatch.cancelled:
-                    break
-                await reg.handler(*args)
+            if len(table) == 1:
+                # Single-handler case dominates micro-protocol
+                # composition; skip the loop (cancelled is always False
+                # on entry — cancel_event still works via the stack).
+                await table[0].handler(*args)
+            else:
+                for reg in table:
+                    if dispatch.cancelled:
+                        break
+                    await reg.handler(*args)
         finally:
             self._pop_dispatch(task_key, stack, dispatch)
-        return not dispatch.cancelled
+            cancelled = dispatch.cancelled
+            if len(pool) < 16:
+                pool.append(dispatch)
+        return not cancelled
+
+    def _compile(self, event: str) -> Tuple[Registration, ...]:
+        """Build and cache the dispatch table for ``event``."""
+        table = tuple(self._handlers.get(event, ()))
+        self._tables[event] = table
+        return table
 
     async def _trigger_traced(self, event: str, *args: Any) -> bool:
         """The traced twin of :meth:`trigger`: identical semantics, plus
@@ -281,6 +328,8 @@ class EventBus:
             stack.remove(dispatch)
         if not stack and self._active.get(task_key) is stack:
             self._active.pop(task_key, None)
+            if len(self._stack_pool) < 16:
+                self._stack_pool.append(stack)
 
     def trigger_nonblocking(self, event: str, *args: Any) -> None:
         """Sequential dispatch in a fresh task; the caller continues.
@@ -368,10 +417,24 @@ class EventBus:
     # TIMEOUT plumbing
     # ------------------------------------------------------------------
 
+    def disarm(self, reg: Registration) -> bool:
+        """Disarm one pending TIMEOUT registration in O(1).
+
+        The handle-based twin of ``deregister(TIMEOUT, handler)`` for
+        callers that kept the :class:`Registration` — per-call bounds
+        (Bounded Termination) disarm thousands of these on the hot path,
+        where the handler-equality scan would be quadratic.  Idempotent;
+        returns True if the registration was still armed.
+        """
+        if self._timeout_regs.pop(reg.seq, None) is None:
+            return False
+        reg.timer.cancel()
+        self._record_deregister(reg)
+        return True
+
     def _fire_timeout(self, reg: Registration) -> None:
-        if reg not in self._timeout_regs:
+        if self._timeout_regs.pop(reg.seq, None) is None:
             return
-        self._timeout_regs.remove(reg)
         self._spawn(self._run_timeout(reg),
                     name=f"timeout-{reg.seq}", daemon=True)
 
@@ -406,7 +469,7 @@ class EventBus:
 
     def cancel_pending_timeouts(self) -> None:
         """Disarm every pending TIMEOUT (part of crash teardown)."""
-        for reg in self._timeout_regs:
+        for reg in self._timeout_regs.values():
             reg.timer.cancel()
         self._timeout_regs.clear()
 
@@ -417,7 +480,8 @@ class EventBus:
         is rebuilt from scratch on recovery.
         """
         self._handlers.clear()
-        for reg in self._timeout_regs:
+        self._tables.clear()
+        for reg in self._timeout_regs.values():
             reg.timer.cancel()
         self._timeout_regs.clear()
         self._active.clear()

@@ -50,9 +50,9 @@ class GRPCMicroProtocol(MicroProtocol):
 
     @property
     def grpc(self) -> GroupRPC:
-        composite = self.composite
-        assert isinstance(composite, GroupRPC)
-        return composite
+        # Hot accessor (several times per handler): trust the add-time
+        # wiring instead of re-checking the composite's type on every use.
+        return self.composite  # type: ignore[return-value]
 
     @property
     def my_id(self) -> int:

@@ -49,7 +49,17 @@ class BoundedTermination(GRPCMicroProtocol):
             finally:
                 grpc.pRPC_mutex.release()
 
-        self.register(TIMEOUT, handle_timeout, self.timebound)
+        reg = self.register(TIMEOUT, handle_timeout, self.timebound)
+        record = self.grpc.pRPC.get(call_id)
+        if record is not None:
+            # Disarm the bound the moment the call record retires: a
+            # completed call must not leave its expiry armed for the rest
+            # of ``timebound``.  With long bounds and high call rates the
+            # armed-but-moot timers otherwise dominate the kernel's timer
+            # heap (one per call, live for the full bound) and every
+            # heap push/pop pays for them.
+            bus = self.bus
+            record.add_disposer(lambda: bus.disarm(reg))
 
 
 register_protocol(BoundedTermination.protocol_name)

@@ -89,11 +89,18 @@ class PointToPointRPC(Protocol):
         self._pending_dest[call_id] = server
         self._pending_msg[call_id] = msg
         self._ensure_retransmitter()
+        timer = None
         if self.timebound:
-            self.runtime.call_later(self.timebound,
-                                    lambda: self._expire(call_id))
+            timer = self.runtime.call_later(
+                self.timebound, lambda: self._expire(call_id))
         await self._send(server, msg)
         await pending.sem.acquire()
+        if timer is not None:
+            # Void the expiry timer as soon as the call resolves; a
+            # long-timebound workload would otherwise grow the kernel's
+            # timer heap by one dead entry per call until the distant
+            # expiries drained (the kernel purges cancelled entries).
+            timer.cancel()
         self._pending.pop(call_id, None)
         self._pending_dest.pop(call_id, None)
         self._pending_msg.pop(call_id, None)

@@ -66,6 +66,18 @@ class ClientRecord:
     #: Micro-protocol piggyback data, copied onto every transmission of
     #: this call (set during NEW_RPC_CALL, e.g. by Causal Order).
     annotations: Dict[str, Any] = field(default_factory=dict)
+    #: Per-call cleanup callbacks run when the record is retired from the
+    #: table (e.g. Bounded Termination disarming its expiry TIMEOUT).
+    #: ``None`` until a micro-protocol attaches one, so the common
+    #: unbounded call pays no list allocation.
+    disposers: Optional[List[Any]] = None
+
+    def add_disposer(self, fn: Any) -> None:
+        """Attach a cleanup callback to run when this record retires."""
+        if self.disposers is None:
+            self.disposers = [fn]
+        else:
+            self.disposers.append(fn)
 
     @classmethod
     def fresh(cls, call_id: int, op: str, args: Any, server: Group,
@@ -99,7 +111,12 @@ class ClientTable:
         self._records[record.id] = record
 
     def remove(self, call_id: int) -> Optional[ClientRecord]:
-        return self._records.pop(call_id, None)
+        record = self._records.pop(call_id, None)
+        if record is not None and record.disposers is not None:
+            for dispose in record.disposers:
+                dispose()
+            record.disposers = None
+        return record
 
     def ids(self) -> List[int]:
         return list(self._records)

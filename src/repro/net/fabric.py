@@ -86,6 +86,12 @@ class NetworkFabric:
         self._links: Dict[Tuple[ProcessId, ProcessId], LinkSpec] = {}
         self._blocked: Set[Tuple[ProcessId, ProcessId]] = set()
         self._filters: List[MessageFilter] = []
+        # Per-link hot cache: (src, dst) -> (LinkSpec, rng stream).  The
+        # stream name f-string and registry lookups are paid once per
+        # link instead of once per send; invalidated by set_link.
+        self._hot_links: Dict[Tuple[ProcessId, ProcessId], tuple] = {}
+        self._envelopes_counter = self.trace.metrics.counter(
+            "net.envelopes")
         #: Observers told when a node crashes/recovers; the oracle
         #: membership detector subscribes here.
         self._membership_watchers: List[Callable[[ProcessId, bool], None]] = []
@@ -106,12 +112,14 @@ class NetworkFabric:
                  spec: LinkSpec) -> None:
         """Override the parameters of the ``src -> dst`` link."""
         self._links[(src, dst)] = spec
+        self._hot_links.pop((src, dst), None)
 
     def set_links_to(self, dst: ProcessId, spec: LinkSpec) -> None:
         """Override every link toward ``dst`` (model a slow/lossy site)."""
         for pid in self.nodes:
             if pid != dst:
                 self._links[(pid, dst)] = spec
+                self._hot_links.pop((pid, dst), None)
 
     def link(self, src: ProcessId, dst: ProcessId) -> LinkSpec:
         return self._links.get((src, dst), self.default_link)
@@ -167,9 +175,10 @@ class NetworkFabric:
         envelope = Envelope(src, dst, payload, now, on_resolved=resolve)
         batched = isinstance(payload, WireBatch)
         inner: List[object] = list(payload) if batched else [payload]
-        self.trace.metrics.counter("net.envelopes").inc()
+        self._envelopes_counter.inc()
+        trace_record = self.trace.record
         for msg in inner:
-            self.trace.record(now, "send", src, dst, detail=msg)
+            trace_record(now, "send", src, dst, detail=msg)
         if self._filters:
             survivors = []
             for msg in inner:
@@ -195,8 +204,13 @@ class NetworkFabric:
                                   detail=msg)
             envelope.resolve()
             return
-        spec = self.link(src, dst)
-        rng = self.rand.stream(f"link-{src}-{dst}")
+        key = (src, dst)
+        hot = self._hot_links.get(key)
+        if hot is None:
+            hot = (self._links.get(key, self.default_link),
+                   self.rand.stream(f"link-{src}-{dst}"))
+            self._hot_links[key] = hot
+        spec, rng = hot
         if spec.loss and rng.random() < spec.loss:
             for msg in inner:
                 self.trace.record(now, "drop-loss", src, dst, detail=msg)

@@ -127,6 +127,11 @@ class Envelope:
     copy: int = 0
     on_resolved: Optional[Callable[[], None]] = field(default=None,
                                                       compare=False)
+    # Memoized wire_size(); an envelope's payload never changes once it
+    # is in flight, so the estimate is computed at most once per envelope
+    # (duplicated copies each carry their own cache).
+    _wire_size: Optional[int] = field(default=None, compare=False,
+                                      init=False)
 
     def __post_init__(self) -> None:
         global _ENVELOPE_SEQ
@@ -135,8 +140,11 @@ class Envelope:
             _ENVELOPE_SEQ += 1
 
     def wire_size(self) -> int:
-        """Estimated on-wire size of the carried payload in bytes."""
-        return wire_size(self.payload)
+        """Estimated on-wire size of the carried payload (memoized)."""
+        size = self._wire_size
+        if size is None:
+            size = self._wire_size = wire_size(self.payload)
+        return size
 
     def resolve(self) -> None:
         """Fire the pipeline's completion hook (idempotence is the

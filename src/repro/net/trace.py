@@ -89,10 +89,22 @@ class NetTrace:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Optional live observers, e.g. a test asserting on the fly.
         self.observers: List[Callable[[TraceEvent], None]] = []
+        # Per-kind counter objects, resolved once: Counter instances are
+        # stable across registry resets (reset zeroes them in place), so
+        # the hot path skips the name concatenation and registry lookup.
+        self._counters: Dict[str, Any] = {}
 
     def record(self, time: float, kind: str, src: int = -1, dst: int = -1,
                detail: Any = None) -> None:
-        self.metrics.counter(NET_PREFIX + kind).inc()
+        counter = self._counters.get(kind)
+        if counter is None:
+            counter = self.metrics.counter(NET_PREFIX + kind)
+            self._counters[kind] = counter
+        counter.inc()
+        if not self.keep_events and not self.observers:
+            # Counters-only mode (the big benchmark runs): no event
+            # object is materialized at all.
+            return
         event = TraceEvent(time, kind, src, dst, detail)
         if self.keep_events:
             self.events.append(event)

@@ -146,28 +146,46 @@ class CancelScope:
     def __init__(self, runtime: Runtime):
         self._runtime = runtime
         self._handles: list[Any] = []
+        # Prune finished handles once the list reaches this length, then
+        # re-arm at twice the surviving count: amortized O(1) per spawn,
+        # and a long-lived node's scope stays proportional to its *live*
+        # tasks instead of retaining every task it ever ran (a per-message
+        # task model spawns millions over a long run; keeping them all
+        # also inflates every gc generation-2 sweep).
+        self._prune_at = 64
+
+    @staticmethod
+    def _finished(handle: Any) -> bool:
+        done = getattr(handle, "done", None)
+        if callable(done):  # asyncio.Task.done()
+            return done()
+        return bool(done)   # sim Task.done property
+
+    def _register(self, handle: Any) -> None:
+        handles = self._handles
+        handles.append(handle)
+        if len(handles) >= self._prune_at:
+            finished = self._finished
+            self._handles = [h for h in handles if not finished(h)]
+            self._prune_at = max(64, 2 * len(self._handles))
 
     def spawn(self, coro: Coroutine, *, name: str = "",
               daemon: bool = False) -> Any:
         handle = self._runtime.spawn(coro, name=name, daemon=daemon)
-        self._handles.append(handle)
+        self._register(handle)
         return handle
 
     def adopt(self, handle: Any) -> None:
         """Register an externally spawned handle with this scope."""
-        self._handles.append(handle)
+        self._register(handle)
 
     def cancel_all(self) -> int:
         """Cancel every live handle; returns how many were cancelled."""
         cancelled = 0
         for handle in self._handles:
-            done = getattr(handle, "done", None)
-            if callable(done):  # asyncio.Task.done()
-                finished = done()
-            else:  # sim Task.done property
-                finished = bool(done)
-            if not finished:
+            if not self._finished(handle):
                 self._runtime.cancel(handle)
                 cancelled += 1
         self._handles.clear()
+        self._prune_at = 64
         return cancelled

@@ -13,10 +13,23 @@ Design notes
 
 * Tasks are plain Python coroutines driven by :meth:`Kernel._step`.  They
   communicate with the kernel by ``await``-ing *traps* — small request
-  objects yielded up through ``types.coroutine`` shims.
+  objects yielded up through ``types.coroutine`` shims.  The awaitable
+  helpers at the bottom of this module are themselves ``types.coroutine``
+  generators (one frame per await, no intermediate ``async def`` shim),
+  and the no-argument traps (yield, current-task) are module singletons,
+  so the common suspension points allocate at most one small object.
 * The ready queue is FIFO and timers break ties by insertion sequence, so a
   given program plus a given seed always produces the same schedule.  The
   network fabric layers randomness on top using seeded RNG streams.
+* The timer heap stores plain ``(when, seq, Timer)`` tuples, so heap
+  sifting compares tuples in C rather than calling a Python ``__lt__``;
+  ``(when, seq)`` is unique, which keeps the pop order total and
+  deterministic.  Cancelled timers are purged lazily: normally a dead
+  entry is discarded when popped, but once dead entries outnumber half
+  the heap (heartbeat-heavy runs cancel timers by the thousand) the heap
+  is compacted in one pass, so it cannot grow unboundedly.
+* A sleeping task parks *directly on its timer* (``Timer.task``): waking
+  it is a field test in the timer loop instead of a per-sleep closure.
 * Cancellation mirrors ``asyncio``: :meth:`Task.cancel` throws
   :class:`~repro.errors.TaskCancelled` into the coroutine at its suspension
   point.  Simulated node crashes and the Terminate Orphan micro-protocol are
@@ -116,18 +129,20 @@ class _YieldTrap(_Trap):
     __slots__ = ()
 
 
-@types.coroutine
-def _invoke(trap: _Trap):
-    """Yield a trap to the kernel and return its response."""
-    return (yield trap)
+#: Singleton no-payload traps: awaiting them must not allocate.
+_YIELD_TRAP = _YieldTrap()
+_CURRENT_TASK_TRAP = _CurrentTaskTrap()
 
 
-# Task states.
-_READY = "READY"
-_RUNNING = "RUNNING"
-_WAITING = "WAITING"
-_DONE = "DONE"
-_CANCELLED = "CANCELLED"
+# Task states.  Small ints compare faster than interned strings on the
+# step hot path; ``state >= _DONE`` is the "finished" test.
+_READY = 0
+_RUNNING = 1
+_WAITING = 2
+_DONE = 3
+_CANCELLED = 4
+
+_STATE_NAMES = ("READY", "RUNNING", "WAITING", "DONE", "CANCELLED")
 
 
 class Task:
@@ -138,6 +153,10 @@ class Task:
     :attr:`result` or :attr:`exception`; other tasks can block on it with
     :meth:`join`.
     """
+
+    __slots__ = ("id", "coro", "name", "daemon", "state", "result",
+                 "exception", "cancelled", "_kernel", "_joiners",
+                 "_unpark", "_sleep_timer", "_pending_exc", "tags")
 
     _next_id = 1
 
@@ -166,7 +185,7 @@ class Task:
 
     @property
     def done(self) -> bool:
-        return self.state in (_DONE, _CANCELLED)
+        return self.state >= _DONE
 
     def cancel(self) -> bool:
         """Request cancellation of this task.
@@ -184,7 +203,7 @@ class Task:
         Re-raises the task's exception, including
         :class:`~repro.errors.TaskCancelled` if it was cancelled.
         """
-        if not self.done:
+        if self.state < _DONE:
             await _invoke(_JoinTrap(self))
         if self.exception is not None:
             raise self.exception
@@ -193,22 +212,37 @@ class Task:
         return self.result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Task {self.id} {self.name!r} {self.state}>"
+        return f"<Task {self.id} {self.name!r} {_STATE_NAMES[self.state]}>"
 
 
 class Timer:
-    """Handle for a scheduled timer; :meth:`cancel` voids it."""
+    """Handle for a scheduled timer; :meth:`cancel` voids it.
 
-    __slots__ = ("when", "seq", "action", "cancelled")
+    Heap entries are ``(when, seq, timer)`` tuples owned by the kernel;
+    the object itself is the user-facing handle.  A timer created for a
+    plain sleep parks the sleeping task in :attr:`task` instead of
+    carrying an action closure.  Cancelling a kernel-attached timer
+    feeds the kernel's dead-entry count, which drives the lazy purge.
+    """
 
-    def __init__(self, when: float, seq: int, action: Callable[[], None]):
+    __slots__ = ("when", "seq", "action", "cancelled", "task", "_kernel")
+
+    def __init__(self, when: float, seq: int,
+                 action: Optional[Callable[[], None]]):
         self.when = when
         self.seq = seq
         self.action = action
         self.cancelled = False
+        #: The task to wake (sleep timers), or None (action timers).
+        self.task: Optional[Task] = None
+        self._kernel: Optional["Kernel"] = None
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            kernel = self._kernel
+            if kernel is not None:
+                kernel._note_dead_timer()
 
     def __lt__(self, other: "Timer") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -235,8 +269,11 @@ class Kernel:
     def __init__(self) -> None:
         self._now = 0.0
         self._ready: deque[tuple[Task, Any]] = deque()
-        self._timers: list[Timer] = []
+        #: Timer heap of (when, seq, Timer) tuples; comparisons stay in C.
+        self._timers: list[tuple[float, int, Timer]] = []
         self._timer_seq = 0
+        #: Cancelled-but-not-popped entries still sitting in the heap.
+        self._timers_dead = 0
         self._current: Optional[Task] = None
         self._tasks: dict[int, Task] = {}
         self._running = False
@@ -249,6 +286,7 @@ class Kernel:
         self.steps_executed = 0
         self.timers_scheduled = 0
         self.timers_fired = 0
+        self.timers_purged = 0
         #: Step-sampling hook (``hook(task)``), installed by the
         #: observatory's kernel profiler via ``SimRuntime.
         #: attach_profiler``; ``None`` costs one is-None test per step.
@@ -284,9 +322,11 @@ class Kernel:
         """
         if delay < 0:
             raise KernelError(f"negative delay: {delay}")
-        timer = Timer(self._now + delay, self._timer_seq, action)
-        self._timer_seq += 1
-        heapq.heappush(self._timers, timer)
+        seq = self._timer_seq
+        self._timer_seq = seq + 1
+        timer = Timer(self._now + delay, seq, action)
+        timer._kernel = self
+        heapq.heappush(self._timers, (timer.when, seq, timer))
         self.timers_scheduled += 1
         return timer
 
@@ -313,8 +353,7 @@ class Kernel:
         main: Optional[Task] = None
         if coro is not None:
             main = self.spawn(coro, name="main")
-        self._loop(stop_when=lambda: main is not None and main.done,
-                   deadline=None)
+        self._loop(main, None)
         if main is not None and shutdown:
             self._cancel_all(except_task=main)
             # The main task's outcome is reported directly, not through the
@@ -330,7 +369,7 @@ class Kernel:
 
     def run_until_idle(self, *, strict: bool = True) -> None:
         """Run until no task is runnable and no timer is pending."""
-        self._loop(stop_when=lambda: False, deadline=None)
+        self._loop(None, None)
         self._raise_if_strict(strict)
 
     def run_until(self, deadline: float, *, strict: bool = True) -> None:
@@ -339,7 +378,7 @@ class Kernel:
         The clock is left at ``deadline`` if it was reached, so repeated
         calls advance time monotonically even when nothing is scheduled.
         """
-        self._loop(stop_when=lambda: False, deadline=deadline)
+        self._loop(None, deadline)
         if self._now < deadline:
             self._now = deadline
         self._raise_if_strict(strict)
@@ -350,7 +389,7 @@ class Kernel:
 
     def live_tasks(self) -> Iterable[Task]:
         """All tasks that have not finished."""
-        return [t for t in self._tasks.values() if not t.done]
+        return [t for t in self._tasks.values() if t.state < _DONE]
 
     def stats(self) -> dict:
         """Scheduler counters, as plain data for the obs exporters."""
@@ -361,6 +400,7 @@ class Kernel:
             "steps_executed": self.steps_executed,
             "timers_scheduled": self.timers_scheduled,
             "timers_fired": self.timers_fired,
+            "timers_purged": self.timers_purged,
         }
 
     def shutdown(self) -> None:
@@ -383,49 +423,95 @@ class Kernel:
             raise KernelError(
                 f"task {task.name!r} died with {exc!r}") from exc
 
-    def _loop(self, stop_when: Callable[[], bool],
+    def _note_dead_timer(self) -> None:
+        """Count a cancelled heap entry; compact once they dominate.
+
+        The purge predicate is pure bookkeeping (counts, no clock, no
+        randomness), so compaction points are deterministic; and because
+        ``(when, seq)`` is unique, re-heapifying the survivors cannot
+        change the pop order.
+        """
+        self._timers_dead += 1
+        if self._timers_dead > 16 and \
+                self._timers_dead * 2 >= len(self._timers):
+            self._timers = [entry for entry in self._timers
+                            if not entry[2].cancelled]
+            heapq.heapify(self._timers)
+            self.timers_purged += self._timers_dead
+            self._timers_dead = 0
+
+    def _loop(self, main: Optional[Task],
               deadline: Optional[float]) -> None:
+        """Drive the simulation until ``main`` finishes (when given), the
+        ``deadline`` is reached (when given), or the system idles.
+
+        The ready queue is drained in one tight inner loop per instant —
+        a run of ready tasks executes back to back without re-entering
+        the timer bookkeeping — and the stop condition is an inline field
+        test rather than a callback.
+        """
         if self._running:
             raise KernelError("kernel is already running (nested run)")
         global _KERNEL
         self._running = True
         prev = _KERNEL
         _KERNEL = self
+        ready = self._ready
+        popleft = ready.popleft
+        step = self._step
         try:
-            while not stop_when():
-                if self._ready:
-                    task, value = self._ready.popleft()
-                    if task.done:
+            while True:
+                # Batched drain: every task runnable at this instant.
+                while ready:
+                    if main is not None and main.state >= _DONE:
+                        return
+                    task, value = popleft()
+                    if task.state >= _DONE:
                         continue
-                    self._step(task, value)
-                    continue
+                    step(task, value)
+                if main is not None and main.state >= _DONE:
+                    return
                 # Ready queue drained: advance the clock to the next timer.
                 timer = self._pop_timer()
                 if timer is None:
-                    break
+                    return
                 if deadline is not None and timer.when > deadline:
                     # Put it back; it fires on a later run_until call.
-                    heapq.heappush(self._timers, timer)
+                    heapq.heappush(self._timers,
+                                   (timer.when, timer.seq, timer))
                     self._now = deadline
-                    break
-                self._now = max(self._now, timer.when)
+                    return
+                if timer.when > self._now:
+                    self._now = timer.when
                 self.timers_fired += 1
-                timer.action()
+                sleeper = timer.task
+                if sleeper is not None:
+                    # Direct task wake-up: the sleep fast path.
+                    timer.task = None
+                    sleeper._sleep_timer = None
+                    if sleeper.state < _DONE:
+                        sleeper.state = _READY
+                        sleeper._unpark = None
+                        ready.append((sleeper, None))
+                else:
+                    timer.action()
         finally:
             self._running = False
             _KERNEL = prev
 
     def _pop_timer(self) -> Optional[Timer]:
-        while self._timers:
-            timer = heapq.heappop(self._timers)
+        timers = self._timers
+        while timers:
+            timer = heapq.heappop(timers)[2]
             if not timer.cancelled:
                 return timer
+            self._timers_dead -= 1
         return None
 
     def _reschedule(self, task: Task, value: Any = None) -> None:
         """Make a parked task runnable again with ``value`` as the await
         result."""
-        if task.done:
+        if task.state >= _DONE:
             return
         task.state = _READY
         task._unpark = None
@@ -438,15 +524,17 @@ class Kernel:
         self.steps_executed += 1
         if self.profile_hook is not None:
             self.profile_hook(task)
+        coro = task.coro
+        send = coro.send
         try:
             while True:
                 try:
                     if task._pending_exc is not None:
                         exc = task._pending_exc
                         task._pending_exc = None
-                        trap = task.coro.throw(exc)
+                        trap = coro.throw(exc)
                     else:
-                        trap = task.coro.send(value)
+                        trap = send(value)
                 except StopIteration as stop:
                     self._finish(task, result=stop.value)
                     return
@@ -460,30 +548,44 @@ class Kernel:
                     return
 
                 # Immediate traps keep the task running without a yield;
-                # blocking traps park it and return to the loop.
-                if isinstance(trap, _SpawnTrap):
-                    value = self.spawn(trap.coro, name=trap.name,
-                                       daemon=trap.daemon)
-                elif isinstance(trap, _CurrentTaskTrap):
-                    value = task
-                elif isinstance(trap, _YieldTrap):
-                    task.state = _READY
-                    self._ready.append((task, None))
-                    return
-                elif isinstance(trap, _SleepTrap):
-                    task.state = _WAITING
-                    timer = self.call_later(
-                        trap.delay, lambda t=task: self._wake_sleeper(t))
-                    task._sleep_timer = timer
-                    return
-                elif isinstance(trap, _SuspendTrap):
+                # blocking traps park it and return to the loop.  Ordered
+                # by observed frequency: suspends (sync primitives) and
+                # sleeps dominate protocol workloads.
+                cls = trap.__class__
+                if cls is _SuspendTrap:
                     task.state = _WAITING
                     task._unpark = trap.unpark
                     trap.park(task)
                     return
-                elif isinstance(trap, _JoinTrap):
+                elif cls is _SleepTrap:
+                    delay = trap.delay
+                    if delay < 0:
+                        raise KernelError(f"negative delay: {delay}")
+                    # Inlined call_later with the task parked directly on
+                    # the timer — no closure, no bound-method hop.
+                    task.state = _WAITING
+                    seq = self._timer_seq
+                    self._timer_seq = seq + 1
+                    timer = Timer(self._now + delay, seq, None)
+                    timer.task = task
+                    timer._kernel = self
+                    heapq.heappush(self._timers,
+                                   (timer.when, seq, timer))
+                    self.timers_scheduled += 1
+                    task._sleep_timer = timer
+                    return
+                elif cls is _YieldTrap:
+                    task.state = _READY
+                    self._ready.append((task, None))
+                    return
+                elif cls is _SpawnTrap:
+                    value = self.spawn(trap.coro, name=trap.name,
+                                       daemon=trap.daemon)
+                elif cls is _CurrentTaskTrap:
+                    value = task
+                elif cls is _JoinTrap:
                     target = trap.task
-                    if target.done:
+                    if target.state >= _DONE:
                         value = None
                     else:
                         task.state = _WAITING
@@ -506,8 +608,6 @@ class Kernel:
         if cancelled:
             task.state = _CANCELLED
             task.cancelled = True
-        elif failed:
-            task.state = _DONE
         else:
             task.state = _DONE
         del self._tasks[task.id]
@@ -518,7 +618,7 @@ class Kernel:
             self.failures.append((task, task.exception))
 
     def _cancel_task(self, task: Task) -> bool:
-        if task.done:
+        if task.state >= _DONE:
             return False
         if task is self._current:
             raise KernelError("a task cannot cancel() itself; raise "
@@ -530,6 +630,7 @@ class Kernel:
                 task._unpark(task)
                 task._unpark = None
             if task._sleep_timer is not None:
+                task._sleep_timer.task = None
                 task._sleep_timer.cancel()
                 task._sleep_timer = None
             task.state = _READY
@@ -542,40 +643,55 @@ class Kernel:
 
     def _cancel_all(self, except_task: Optional[Task] = None) -> None:
         for task in list(self._tasks.values()):
-            if task is except_task or task.done:
+            if task is except_task or task.state >= _DONE:
                 continue
             task.cancel()
         # Drain so cancellations actually execute their cleanup code.
-        self._loop(stop_when=lambda: False, deadline=self._now)
+        self._loop(None, self._now)
 
 
 # ----------------------------------------------------------------------
 # Awaitable convenience functions (usable from inside tasks)
 # ----------------------------------------------------------------------
+#
+# Each is a ``types.coroutine`` generator rather than an ``async def``
+# wrapper around a shim: awaiting one runs a single generator frame, so
+# the kernel's trap round-trip costs one ``send`` per suspension.
 
-async def spawn(coro: Coroutine, *, name: str = "",
-                daemon: bool = False) -> Task:
-    """Spawn a child task from inside a running task."""
-    return await _invoke(_SpawnTrap(coro, name, daemon))
+@types.coroutine
+def _invoke(trap: _Trap):
+    """Yield a trap to the kernel and return its response."""
+    return (yield trap)
 
 
-async def sleep(delay: float) -> None:
+@types.coroutine
+def spawn(coro: Coroutine, *, name: str = "", daemon: bool = False):
+    """Spawn a child task from inside a running task; returns the
+    :class:`Task`."""
+    return (yield _SpawnTrap(coro, name, daemon))
+
+
+@types.coroutine
+def sleep(delay: float):
     """Suspend the current task for ``delay`` seconds of virtual time."""
-    await _invoke(_SleepTrap(delay))
+    yield _SleepTrap(delay)
 
 
-async def current_task() -> Task:
+@types.coroutine
+def current_task():
     """Return the currently running :class:`Task`."""
-    return await _invoke(_CurrentTaskTrap())
+    return (yield _CURRENT_TASK_TRAP)
 
 
-async def checkpoint_yield() -> None:
+@types.coroutine
+def checkpoint_yield():
     """Yield to the scheduler, letting other ready tasks run first."""
-    await _invoke(_YieldTrap())
+    yield _YIELD_TRAP
 
 
-async def suspend(park: Callable[[Task], None],
-                  unpark: Callable[[Task], None]) -> Any:
+@types.coroutine
+def suspend(park: Callable[[Task], None],
+            unpark: Callable[[Task], None]):
     """Park the current task; used by the synchronization primitives.
 
     ``park(task)`` records the task in a wait structure and ``unpark(task)``
@@ -583,4 +699,4 @@ async def suspend(park: Callable[[Task], None],
     resumes when :meth:`Kernel._reschedule` is called on it, returning the
     value passed to ``_reschedule``.
     """
-    return await _invoke(_SuspendTrap(park, unpark))
+    return (yield _SuspendTrap(park, unpark))

@@ -11,6 +11,15 @@ Determinism matters for the reproduction: dict entries are encoded in
 sorted key order, so the same logical arguments always produce the same
 bytes — and therefore the same message sizes in the benchmarks.
 
+Hot-path structure: :func:`marshalled_size` is a size-only recursive
+pass (it never materializes an encoding); :func:`marshal` uses that pass
+to preallocate the output buffer exactly and then packs into it in
+place (one allocation per call, no bytearray growth); :func:`unmarshal`
+walks a :class:`memoryview` with integer tag compares and struct-packed
+headers, so container decoding never copies intermediate slices.  The
+wire format itself is unchanged — byte-for-byte identical to the
+original append-based encoder.
+
 Marshalling is the one real-CPU cost every call pays twice, so the
 observatory's kernel profiler hooks it: :func:`install_profiler`
 installs a module-level hook (this module has no runtime reference, and
@@ -56,17 +65,36 @@ _LIST = b"L"
 _TUPLE = b"U"
 _DICT = b"M"
 
+# Integer twins of the tag bytes, for index-based (no-slice) compares.
+_T_NONE = _NONE[0]
+_T_TRUE = _TRUE[0]
+_T_FALSE = _FALSE[0]
+_T_INT = _INT[0]
+_T_FLOAT = _FLOAT[0]
+_T_STR = _STR[0]
+_T_BYTES = _BYTES[0]
+_T_LIST = _LIST[0]
+_T_TUPLE = _TUPLE[0]
+_T_DICT = _DICT[0]
+
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+_pack_u32_into = _U32.pack_into
+_pack_f64_into = _F64.pack_into
+_unpack_u32_from = _U32.unpack_from
+_unpack_f64_from = _F64.unpack_from
+
 
 def marshal(value: Any) -> bytes:
     """Encode ``value`` into the untyped argument field."""
     prof = _PROFILER
     if prof is None:
-        out = bytearray()
-        _encode(value, out)
+        out = bytearray(_size(value))
+        _encode_into(value, out, 0)
         return bytes(out)
     started = perf_counter()
-    out = bytearray()
-    _encode(value, out)
+    out = bytearray(_size(value))
+    _encode_into(value, out, 0)
     data = bytes(out)
     prof.on_marshal(len(data), perf_counter() - started)
     return data
@@ -76,113 +104,203 @@ def unmarshal(data: bytes) -> Any:
     """Decode an argument field; rejects trailing garbage."""
     prof = _PROFILER
     started = perf_counter() if prof is not None else 0.0
-    value, offset = _decode(data, 0)
-    if offset != len(data):
+    buf = memoryview(data)
+    end = len(buf)
+    value, offset = _decode(buf, 0, end)
+    if offset != end:
         raise MarshalError(
-            f"{len(data) - offset} trailing bytes after value")
+            f"{end - offset} trailing bytes after value")
     if prof is not None:
-        prof.on_unmarshal(len(data), perf_counter() - started)
+        prof.on_unmarshal(end, perf_counter() - started)
     return value
 
 
 def marshalled_size(value: Any) -> int:
-    """Size in bytes of the encoded value (benchmark helper)."""
-    return len(marshal(value))
+    """Size in bytes of the encoded value — a pure counting pass.
+
+    Never materializes the encoding; the batching caps in the wire layer
+    and the benchmarks size messages through here, so a size query costs
+    arithmetic, not allocation.
+    """
+    return _size(value)
 
 
-def _encode(value: Any, out: bytearray) -> None:
+def _utf8_len(s: str) -> int:
+    # ASCII (the overwhelmingly common case) needs no encode to measure.
+    if s.isascii():
+        return len(s)
+    return len(s.encode("utf-8"))
+
+
+def _size(value: Any) -> int:
+    """Exact encoded size of ``value``, computed without encoding."""
+    if value is None or value is True or value is False:
+        return 1
+    cls = value.__class__
+    if cls is int:
+        return 5 + ((value.bit_length() + 8) // 8 or 1)
+    if cls is float:
+        return 9
+    if cls is str:
+        return 5 + _utf8_len(value)
+    if cls is bytes:
+        return 5 + len(value)
+    if cls is list or cls is tuple:
+        total = 5
+        for item in value:
+            total += _size(item)
+        return total
+    if cls is dict:
+        total = 5
+        for key in value:
+            if not isinstance(key, str):
+                raise MarshalError("dict keys must be strings")
+            total += 5 + _utf8_len(key) + _size(value[key])
+        return total
+    # Subclasses of the plain types take the isinstance slow path.
+    if isinstance(value, int):
+        return 5 + ((value.bit_length() + 8) // 8 or 1)
+    if isinstance(value, float):
+        return 9
+    if isinstance(value, str):
+        return 5 + _utf8_len(value)
+    if isinstance(value, bytes):
+        return 5 + len(value)
+    if isinstance(value, (list, tuple)):
+        total = 5
+        for item in value:
+            total += _size(item)
+        return total
+    if isinstance(value, dict):
+        total = 5
+        for key in value:
+            if not isinstance(key, str):
+                raise MarshalError("dict keys must be strings")
+            total += 5 + _utf8_len(key) + _size(value[key])
+        return total
+    raise MarshalError(
+        f"cannot marshal {type(value).__name__}: only plain data "
+        f"(None/bool/int/float/str/bytes/list/tuple/dict) is allowed")
+
+
+def _encode_into(value: Any, out: bytearray, offset: int) -> int:
+    """Pack ``value`` into ``out`` at ``offset``; returns the new offset.
+
+    ``out`` is preallocated to exactly :func:`_size` bytes, so every
+    write is an in-place pack — no growth, no intermediate objects
+    beyond the UTF-8 encodings of the strings themselves.
+    """
     if value is None:
-        out += _NONE
-    elif value is True:
-        out += _TRUE
-    elif value is False:
-        out += _FALSE
-    elif isinstance(value, int):
+        out[offset] = _T_NONE
+        return offset + 1
+    if value is True:
+        out[offset] = _T_TRUE
+        return offset + 1
+    if value is False:
+        out[offset] = _T_FALSE
+        return offset + 1
+    cls = value.__class__
+    if cls is str or (cls is not int and cls is not float
+                      and cls is not bytes and cls is not list
+                      and cls is not tuple and cls is not dict
+                      and isinstance(value, str)):
+        raw = value.encode("utf-8")
+        n = len(raw)
+        out[offset] = _T_STR
+        _pack_u32_into(out, offset + 1, n)
+        offset += 5
+        out[offset:offset + n] = raw
+        return offset + n
+    if cls is int or isinstance(value, int):
         raw = value.to_bytes((value.bit_length() + 8) // 8 or 1,
                              "big", signed=True)
-        out += _INT
-        out += struct.pack(">I", len(raw))
-        out += raw
-    elif isinstance(value, float):
-        out += _FLOAT
-        out += struct.pack(">d", value)
-    elif isinstance(value, str):
-        raw = value.encode("utf-8")
-        out += _STR
-        out += struct.pack(">I", len(raw))
-        out += raw
-    elif isinstance(value, bytes):
-        out += _BYTES
-        out += struct.pack(">I", len(value))
-        out += value
-    elif isinstance(value, (list, tuple)):
-        out += _LIST if isinstance(value, list) else _TUPLE
-        out += struct.pack(">I", len(value))
+        n = len(raw)
+        out[offset] = _T_INT
+        _pack_u32_into(out, offset + 1, n)
+        offset += 5
+        out[offset:offset + n] = raw
+        return offset + n
+    if cls is float or isinstance(value, float):
+        out[offset] = _T_FLOAT
+        _pack_f64_into(out, offset + 1, value)
+        return offset + 9
+    if cls is bytes or isinstance(value, bytes):
+        n = len(value)
+        out[offset] = _T_BYTES
+        _pack_u32_into(out, offset + 1, n)
+        offset += 5
+        out[offset:offset + n] = value
+        return offset + n
+    if cls is list or cls is tuple or isinstance(value, (list, tuple)):
+        out[offset] = _T_LIST if isinstance(value, list) else _T_TUPLE
+        _pack_u32_into(out, offset + 1, len(value))
+        offset += 5
         for item in value:
-            _encode(item, out)
-    elif isinstance(value, dict):
-        keys = list(value)
-        if not all(isinstance(k, str) for k in keys):
-            raise MarshalError("dict keys must be strings")
-        out += _DICT
-        out += struct.pack(">I", len(keys))
-        for key in sorted(keys):
-            _encode(key, out)
-            _encode(value[key], out)
-    else:
-        raise MarshalError(
-            f"cannot marshal {type(value).__name__}: only plain data "
-            f"(None/bool/int/float/str/bytes/list/tuple/dict) is allowed")
+            offset = _encode_into(item, out, offset)
+        return offset
+    if cls is dict or isinstance(value, dict):
+        out[offset] = _T_DICT
+        _pack_u32_into(out, offset + 1, len(value))
+        offset += 5
+        for key in sorted(value):
+            offset = _encode_into(key, out, offset)
+            offset = _encode_into(value[key], out, offset)
+        return offset
+    raise MarshalError(
+        f"cannot marshal {type(value).__name__}: only plain data "
+        f"(None/bool/int/float/str/bytes/list/tuple/dict) is allowed")
 
 
-def _decode(data: bytes, offset: int) -> Tuple[Any, int]:
-    if offset >= len(data):
+def _decode(buf: memoryview, offset: int, end: int) -> Tuple[Any, int]:
+    if offset >= end:
         raise MarshalError("truncated value")
-    tag = data[offset:offset + 1]
+    tag = buf[offset]
     offset += 1
-    if tag == _NONE:
+    if tag == _T_NONE:
         return None, offset
-    if tag == _TRUE:
+    if tag == _T_TRUE:
         return True, offset
-    if tag == _FALSE:
+    if tag == _T_FALSE:
         return False, offset
-    if tag == _FLOAT:
-        _need(data, offset, 8)
-        return struct.unpack_from(">d", data, offset)[0], offset + 8
-    if tag in (_INT, _STR, _BYTES):
-        _need(data, offset, 4)
-        length = struct.unpack_from(">I", data, offset)[0]
+    if tag == _T_FLOAT:
+        if offset + 8 > end:
+            raise MarshalError("truncated value")
+        return _unpack_f64_from(buf, offset)[0], offset + 8
+    if tag == _T_INT or tag == _T_STR or tag == _T_BYTES:
+        if offset + 4 > end:
+            raise MarshalError("truncated value")
+        length = _unpack_u32_from(buf, offset)[0]
         offset += 4
-        _need(data, offset, length)
-        raw = data[offset:offset + length]
+        if offset + length > end:
+            raise MarshalError("truncated value")
+        raw = buf[offset:offset + length]
         offset += length
-        if tag == _INT:
+        if tag == _T_STR:
+            return str(raw, "utf-8"), offset
+        if tag == _T_INT:
             return int.from_bytes(raw, "big", signed=True), offset
-        if tag == _STR:
-            return raw.decode("utf-8"), offset
         return bytes(raw), offset
-    if tag in (_LIST, _TUPLE):
-        _need(data, offset, 4)
-        count = struct.unpack_from(">I", data, offset)[0]
+    if tag == _T_LIST or tag == _T_TUPLE:
+        if offset + 4 > end:
+            raise MarshalError("truncated value")
+        count = _unpack_u32_from(buf, offset)[0]
         offset += 4
         items = []
+        append = items.append
         for _ in range(count):
-            item, offset = _decode(data, offset)
-            items.append(item)
-        return (items if tag == _LIST else tuple(items)), offset
-    if tag == _DICT:
-        _need(data, offset, 4)
-        count = struct.unpack_from(">I", data, offset)[0]
+            item, offset = _decode(buf, offset, end)
+            append(item)
+        return (items if tag == _T_LIST else tuple(items)), offset
+    if tag == _T_DICT:
+        if offset + 4 > end:
+            raise MarshalError("truncated value")
+        count = _unpack_u32_from(buf, offset)[0]
         offset += 4
         result = {}
         for _ in range(count):
-            key, offset = _decode(data, offset)
-            value, offset = _decode(data, offset)
+            key, offset = _decode(buf, offset, end)
+            value, offset = _decode(buf, offset, end)
             result[key] = value
         return result, offset
-    raise MarshalError(f"unknown tag byte {tag!r} at offset {offset - 1}")
-
-
-def _need(data: bytes, offset: int, n: int) -> None:
-    if offset + n > len(data):
-        raise MarshalError("truncated value")
+    raise MarshalError(
+        f"unknown tag byte {bytes((tag,))!r} at offset {offset - 1}")

@@ -260,3 +260,42 @@ def _join(cluster, task):
     async def waiter():
         await cluster.runtime.join(task)
     return waiter()
+
+
+# ----------------------------------------------------------------------
+# Bounded Termination disarms completed calls
+# ----------------------------------------------------------------------
+
+def test_bounded_timeout_disarmed_when_call_completes():
+    # A completed call must not leave its expiry TIMEOUT armed for the
+    # rest of the bound: with long bounds and high call rates the moot
+    # timers would otherwise pile up in the kernel's timer heap (one
+    # per call, live for the full 30s here) and tax every heap
+    # operation.  Retirement of the client record disarms the bound.
+    spec = ServiceSpec(acceptance=1, bounded=30.0)
+    cluster = ServiceCluster(spec, KVStore, n_servers=2)
+    client_bus = cluster.grpc(cluster.client).bus
+    # Reliable Communication keeps one periodic retransmit TIMEOUT armed
+    # at all times; that steady-state count is the baseline the per-call
+    # bound must return to once each call completes.
+    baseline = cluster.call_and_run("get", {"key": "k"}).ok \
+        and client_bus.pending_timeouts()
+    for i in range(10):
+        assert cluster.call_and_run("put", {"key": "k", "value": i}).ok
+        assert client_bus.pending_timeouts() == baseline
+    # The cancelled timers must not linger in the heap either: the
+    # kernel's lazy purge compacts once dead entries dominate.
+    kernel = cluster.runtime.kernel
+    live = [t for (_, _, t) in kernel._timers if not t.cancelled]
+    assert len(kernel._timers) - len(live) <= max(16, len(live))
+
+
+def test_bounded_timeout_still_fires_for_stuck_calls():
+    # Disarming on retirement must not weaken the bound itself: a call
+    # whose servers never answer still times out at ``timebound``.
+    spec = ServiceSpec(acceptance=1, bounded=0.5)
+    cluster = ServiceCluster(spec, KVStore, n_servers=1,
+                             default_link=LinkSpec(delay=0.01, loss=1.0))
+    result = cluster.call_and_run("get", {"key": "x"}, extra_time=1.0)
+    assert result.status is Status.TIMEOUT
+    assert cluster.runtime.now() >= 0.5
