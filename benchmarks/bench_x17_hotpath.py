@@ -24,6 +24,13 @@ Modes:
 * ``REPRO_X17_PROFILE=1``: 40k calls under the observatory's kernel
   profiler; writes ``x17_hotpath_profile_<phase>.txt`` (collapsed
   stacks + profiler report) instead of a trajectory point.
+* ``REPRO_X17_DIST=zipf`` (the CLI's ``--dist=zipf``): keys are drawn
+  from a Zipf(s=1.1) distribution per lane instead of cycling
+  uniformly, so a handful of hot keys absorb most of the load — the
+  shape the hot-key accounting and placement work are built for.  The
+  skewed run writes its own trajectory file
+  (``BENCH_x17_zipf.json``, with the measured top-key share) and
+  leaves the uniform hot-path trajectory untouched.
 
 The trajectory file ``BENCH_x17_hotpath.json`` keeps *two* points: the
 committed ``pre-refactor`` baseline (measured on the tree as it stood
@@ -32,9 +39,13 @@ measurement (phase from ``REPRO_X17_PHASE``, default ``current``), so
 the before/after comparison travels with the repo.
 """
 
+import bisect
+import itertools
 import json
 import os
+import random
 import time
+from collections import Counter
 
 from _common import (RESULTS_DIR, attach, percentiles, run_once,
                      save_bench_json, save_result)
@@ -46,6 +57,11 @@ from repro.bench import banner, render_table
 TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
 PROFILE = os.environ.get("REPRO_X17_PROFILE") == "1"
 PHASE = os.environ.get("REPRO_X17_PHASE", "current")
+DIST = os.environ.get("REPRO_X17_DIST", "uniform")
+if DIST not in ("uniform", "zipf"):
+    raise ValueError(f"REPRO_X17_DIST must be 'uniform' or 'zipf', "
+                     f"got {DIST!r}")
+ZIPF_S = 1.1                   # classic web-cache skew exponent
 
 LINK = LinkSpec(delay=0.001, jitter=0.0005)
 N_SHARDS = 8
@@ -57,6 +73,12 @@ WINDOW = 256                   # per-lane in-flight cap (memory guard)
 BLOB = "x" * 64
 
 JSON_PATH = RESULTS_DIR / "BENCH_x17_hotpath.json"
+
+
+def _zipf_cdf(n, s):
+    """Cumulative Zipf(s) weights over ranks 1..n (deterministic)."""
+    return list(itertools.accumulate(
+        1.0 / (rank ** s) for rank in range(1, n + 1)))
 
 
 def run_point():
@@ -71,6 +93,19 @@ def run_point():
     latencies = []
     failures = [0]
     completed = [0]
+    rank_counts: Counter = Counter()
+    if DIST == "zipf":
+        cdf = _zipf_cdf(KEYS_PER_LANE, ZIPF_S)
+        total_weight = cdf[-1]
+
+    def pick_key(rng, lane_no, i):
+        if DIST == "uniform":
+            return f"w{lane_no}-k{i % KEYS_PER_LANE}"
+        # Seeded per-lane draws, so the skewed schedule is as
+        # reproducible as the uniform one.
+        rank = bisect.bisect_left(cdf, rng.random() * total_weight)
+        rank_counts[rank] += 1
+        return f"w{lane_no}-k{rank}"
 
     async def one_call(view, window, key, i):
         try:
@@ -86,11 +121,12 @@ def run_point():
     async def lane(pid, lane_no):
         view = ShardedKV(dep, pid, kv.router)
         window = dep.runtime.semaphore(WINDOW)
+        rng = random.Random(1017 + lane_no)
         for i in range(per_lane):
             await window.acquire()
             dep.spawn_client(
                 pid, one_call(view, window,
-                              f"w{lane_no}-k{i % KEYS_PER_LANE}", i))
+                              pick_key(rng, lane_no, i), i))
             await dep.runtime.sleep(ARRIVAL_INTERVAL)
         for _ in range(WINDOW):      # drain this lane's window
             await window.acquire()
@@ -117,6 +153,13 @@ def run_point():
                profiler.collapsed()])
     dep.settle(1.0)
     dep.shutdown()
+    skew = {}
+    if DIST == "zipf":
+        drawn = sum(rank_counts.values())
+        skew = {"distinct_keys": len(rank_counts),
+                "top_key_share": rank_counts.most_common(1)[0][1] / drawn,
+                "top10_share": sum(c for _, c in
+                                   rank_counts.most_common(10)) / drawn}
     return {"ops": completed[0],
             "failures": failures[0],
             "wall_s": wall,
@@ -127,6 +170,7 @@ def run_point():
             "steps_per_op": steps / max(1, completed[0]),
             "envelopes": int(dep.metrics.value("net.envelopes")),
             "latencies": latencies,
+            "skew": skew,
             "profile": profile_text}
 
 
@@ -153,6 +197,42 @@ def test_x17_hotpath(benchmark):
 
     if PROFILE:
         save_result(f"x17_hotpath_profile_{PHASE}", row["profile"])
+        return
+
+    if DIST == "zipf":
+        # The skewed run is its own trajectory: it answers "what does a
+        # hot-key workload cost", not "did the hot path get faster", so
+        # it never merges with the uniform pre-refactor baseline.
+        point = {"phase": PHASE,
+                 "mode": "tiny" if TINY else "full",
+                 "dist": "zipf",
+                 "zipf_s": ZIPF_S,
+                 "ops": row["ops"],
+                 "ops_per_sec_wall": round(row["ops_per_sec_wall"], 1),
+                 "wall_s": round(row["wall_s"], 3),
+                 "virtual_s": round(row["virtual_s"], 3),
+                 "steps_per_op": round(row["steps_per_op"], 2),
+                 "envelopes": row["envelopes"],
+                 "distinct_keys": row["skew"]["distinct_keys"],
+                 "top_key_share": round(row["skew"]["top_key_share"], 4),
+                 "top10_share": round(row["skew"]["top10_share"], 4),
+                 **percentiles(row["latencies"])}
+        save_result("x17_zipf", "\n".join([
+            banner("X17 — hot path under Zipfian keys (--dist=zipf)",
+                   f"open loop, {TOTAL_OPS} calls over {N_CLIENTS} "
+                   f"lanes x {N_SHARDS} shards, Zipf s={ZIPF_S} over "
+                   f"{KEYS_PER_LANE} keys/lane"),
+            render_table(
+                ["dist", "ops", "ops/s wall", "top key", "top 10",
+                 "p95 ms"],
+                [["zipf", point["ops"],
+                  f"{point['ops_per_sec_wall']:.0f}",
+                  f"{point['top_key_share'] * 100:.1f}%",
+                  f"{point['top10_share'] * 100:.1f}%",
+                  point["p95_ms"]]])]))
+        attach(benchmark, {"ops_per_sec_wall": point["ops_per_sec_wall"],
+                           "top_key_share": point["top_key_share"]})
+        save_bench_json("x17_zipf", {"points": [point]}, tiny=TINY)
         return
 
     point = {"phase": PHASE,

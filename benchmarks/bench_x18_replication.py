@@ -1,0 +1,279 @@
+"""X18 — replicated shard groups: read scaling and primary failover.
+
+Two experiments over the ``repro.replication`` subsystem, both in
+virtual time (deterministic; a reseeded run reproduces every number):
+
+* **Read scaling (active mode).**  One shard deployed as an active
+  replica group of 1..3 replicas, serial execution with a fixed
+  per-operation service time, reads round-robined over in-sync replicas
+  by the deployment's read/write routing split.  A closed-loop reader
+  pool drives the same workload against every group size; read
+  throughput must grow monotonically with the replica count, because
+  each replica serves its share of reads independently.  A write-latency
+  sweep across compositions (acceptance 1 vs ALL, no ordering vs total
+  order, passive) shows what each consistency knob costs on the same
+  group.
+
+* **Primary failover (passive mode).**  A primary-backup group absorbs
+  a steady write load; the primary is crashed *while a write executes on
+  it*.  The group promotes a backup (deterministic largest-pid rule),
+  parks and transparently re-issues the interrupted write, and resumes.
+  The benchmark verifies **zero acknowledged-write loss** (every OK'd
+  write is readable after the crash) and that the unavailability window
+  is bounded by the composition's bounded-termination timeout plus the
+  promotion, not by luck.
+
+``REPRO_BENCH_TINY=1`` shrinks the workload for the CI smoke lane.
+"""
+
+import os
+
+from _common import (attach, percentiles, run_once, save_bench_json,
+                     save_result)
+
+from repro import Deployment, LinkSpec
+from repro.apps import KVStore, ShardedKV, build_sharded_kv
+from repro.bench import banner, render_table
+from repro.core.microprotocols import ALL
+from repro.replication import active_replicas, primary_backup
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+LINK = LinkSpec(delay=0.001, jitter=0.0005)
+OP_DELAY = 0.005             # server-side service time per operation
+REPLICA_COUNTS = (1, 2, 3)
+N_READERS = 4 if TINY else 6
+READS_PER_READER = 12 if TINY else 60
+N_KEYS = 12                  # preloaded keyspace the readers cycle over
+WRITES_PER_COMP = 8 if TINY else 40
+FAILOVER_BOUND = 0.5         # passive bounded-termination timeout
+PRE_WRITES = 6 if TINY else 25
+POST_WRITES = 6 if TINY else 25
+
+#: The write-latency sweep: label -> ReplicaSpec factory (3 replicas).
+COMPOSITIONS = [
+    ("active acc=1",       lambda: active_replicas(3)),
+    ("active acc=ALL",     lambda: active_replicas(3, acceptance=ALL)),
+    ("active total order", lambda: active_replicas(3, acceptance=ALL,
+                                                   ordering="total")),
+    ("passive (pb)",       lambda: primary_backup(3)),
+]
+
+
+def run_read_point(replicas):
+    dep = Deployment(seed=18, default_link=LINK, keep_trace=False)
+    kv = build_sharded_kv(
+        dep, 1, replication=active_replicas(replicas),
+        clients=N_READERS,
+        app_factory=lambda: KVStore(op_delay=OP_DELAY, keep_log=False))
+    readers = dep.services["shard-0"].client_pids
+
+    async def preload():
+        for i in range(N_KEYS):
+            assert (await kv.put(f"k{i}", i)).ok
+
+    dep.run_scenario(preload())
+    latencies = []
+    failures = [0]
+
+    async def reader(pid, lane):
+        view = ShardedKV(dep, pid, kv.router)
+        for i in range(READS_PER_READER):
+            begin = dep.runtime.now()
+            result = await view.get(f"k{(lane + i) % N_KEYS}")
+            latencies.append(dep.runtime.now() - begin)
+            if not result.ok:
+                failures[0] += 1
+
+    async def scenario():
+        tasks = [dep.spawn_client(pid, reader(pid, lane))
+                 for lane, pid in enumerate(readers)]
+        for task in tasks:
+            await dep.runtime.join(task)
+
+    start = dep.runtime.now()
+    dep.run_scenario(scenario())
+    elapsed = dep.runtime.now() - start
+    total = N_READERS * READS_PER_READER
+    dep.settle(1.0)
+    dep.shutdown()
+    return {"replicas": replicas,
+            "reads": total,
+            "read_ops_per_sec": total / elapsed,
+            "elapsed_s": elapsed,
+            "reads_routed": int(dep.metrics.value("repl.reads.routed")),
+            "failures": failures[0],
+            "latencies": latencies}
+
+
+def run_write_point(label, rspec_factory):
+    dep = Deployment(seed=18, default_link=LINK, keep_trace=False)
+    kv = build_sharded_kv(
+        dep, 1, replication=rspec_factory(),
+        app_factory=lambda: KVStore(op_delay=OP_DELAY, keep_log=False))
+    latencies = []
+    failures = [0]
+
+    async def scenario():
+        for i in range(WRITES_PER_COMP):
+            begin = dep.runtime.now()
+            result = await kv.put(f"w{i}", i)
+            latencies.append(dep.runtime.now() - begin)
+            if not result.ok:
+                failures[0] += 1
+
+    dep.run_scenario(scenario())
+    dep.settle(1.0)
+    dep.shutdown()
+    return {"composition": label,
+            "writes": WRITES_PER_COMP,
+            "mean_ms": sum(latencies) / len(latencies) * 1000,
+            "failures": failures[0],
+            "latencies": latencies}
+
+
+def run_failover_point():
+    dep = Deployment(seed=118, default_link=LINK, keep_trace=False,
+                     membership="oracle")
+    kv = build_sharded_kv(
+        dep, 1, replication=primary_backup(3, bounded=FAILOVER_BOUND),
+        app_factory=lambda: KVStore(op_delay=OP_DELAY, keep_log=False))
+    group = dep.replication.group("shard-0")
+    old_primary = group.primary
+    acked = []
+    latencies = []
+
+    async def timed_put(key, value, **extra):
+        begin = dep.runtime.now()
+        result = await kv.put(key, value, **extra)
+        latencies.append(dep.runtime.now() - begin)
+        if result.ok:
+            acked.append((key, value))
+        return result
+
+    async def scenario():
+        for i in range(PRE_WRITES):
+            await timed_put(f"pre{i}", i)
+        # Crash the primary while a write is executing on it; the group
+        # parks the call, promotes, and re-issues it transparently.
+        handle = dep.runtime.spawn(
+            timed_put("inflight", -1, delay=0.4), name="victim-write")
+        await dep.runtime.sleep(0.1)
+        dep.crash(old_primary)
+        await dep.runtime.join(handle)
+        for i in range(POST_WRITES):
+            await timed_put(f"post{i}", i)
+
+    dep.run_scenario(scenario())
+
+    lost = []
+
+    async def audit():
+        for key, value in acked:
+            result = await kv.get(key)
+            if not result.ok or result.args != value:
+                lost.append(key)
+
+    dep.run_scenario(audit())
+    dep.settle(1.0)
+    dep.shutdown()
+    steady = sorted(latencies)[len(latencies) // 2]
+    return {"writes": PRE_WRITES + POST_WRITES + 1,
+            "acked": len(acked),
+            "lost_acked": len(lost),
+            "promotions": int(dep.metrics.value("repl.promotions")),
+            "failover_retries": int(
+                dep.metrics.value("repl.failover.retries")),
+            "new_primary": group.primary,
+            "old_primary": old_primary,
+            "steady_write_ms": steady * 1000,
+            "max_write_ms": max(latencies) * 1000,
+            "latencies": latencies}
+
+
+def test_x18_replication(benchmark):
+    def experiment():
+        return {"reads": [run_read_point(n) for n in REPLICA_COUNTS],
+                "writes": [run_write_point(label, factory)
+                           for label, factory in COMPOSITIONS],
+                "failover": run_failover_point()}
+
+    result = run_once(benchmark, experiment)
+    reads, writes, failover = (result["reads"], result["writes"],
+                               result["failover"])
+
+    base = reads[0]["read_ops_per_sec"]
+    read_table = render_table(
+        ["replicas", "read ops/s (virtual)", "speedup", "p95 ms"],
+        [[r["replicas"], f"{r['read_ops_per_sec']:.0f}",
+          f"{r['read_ops_per_sec'] / base:.2f}x",
+          percentiles(r["latencies"])["p95_ms"]] for r in reads])
+    write_table = render_table(
+        ["composition", "mean write ms", "p95 ms"],
+        [[w["composition"], f"{w['mean_ms']:.2f}",
+          percentiles(w["latencies"])["p95_ms"]] for w in writes])
+    failover_table = render_table(
+        ["writes", "acked", "lost", "promotions", "steady ms", "max ms"],
+        [[failover["writes"], failover["acked"], failover["lost_acked"],
+          failover["promotions"], f"{failover['steady_write_ms']:.2f}",
+          f"{failover['max_write_ms']:.2f}"]])
+    save_result("x18_replication", "\n".join([
+        banner("X18 — replicated shard groups",
+               f"{N_READERS} readers x {READS_PER_READER} reads, "
+               f"{OP_DELAY * 1000:.0f}ms/op service time, link "
+               f"{LINK.delay * 1000:.1f}ms; passive failover with an "
+               f"in-flight write, bounded {FAILOVER_BOUND}s"),
+        "read scaling (active, acceptance=1, no ordering):", read_table,
+        "", "write cost by composition (3 replicas):", write_table,
+        "", "passive primary crash under load:", failover_table]))
+
+    attach(benchmark, {
+        **{f"read_ops_{r['replicas']}r":
+           round(r["read_ops_per_sec"], 1) for r in reads},
+        "failover_lost_acked": failover["lost_acked"],
+        "failover_max_write_ms": round(failover["max_write_ms"], 2)})
+    save_bench_json("x18_replication", {
+        "workload": {"readers": N_READERS,
+                     "reads_per_reader": READS_PER_READER,
+                     "writes_per_composition": WRITES_PER_COMP,
+                     "op_delay_ms": OP_DELAY * 1000,
+                     "failover_bound_s": FAILOVER_BOUND},
+        "read_scaling": [{"replicas": r["replicas"],
+                          "read_ops_per_sec":
+                              round(r["read_ops_per_sec"], 1),
+                          "reads_routed": r["reads_routed"],
+                          "failures": r["failures"],
+                          **percentiles(r["latencies"])} for r in reads],
+        "write_compositions": [{"composition": w["composition"],
+                                "mean_ms": round(w["mean_ms"], 3),
+                                "failures": w["failures"],
+                                **percentiles(w["latencies"])}
+                               for w in writes],
+        "failover": {key: (round(value, 3)
+                           if isinstance(value, float) else value)
+                     for key, value in failover.items()
+                     if key != "latencies"}},
+        tiny=TINY)
+
+    # Read throughput must grow monotonically with the replica count.
+    rates = [r["read_ops_per_sec"] for r in reads]
+    assert rates[1] > rates[0] and rates[2] > rates[1], rates
+    assert all(r["failures"] == 0 for r in reads)
+    # Every narrowed read was routed by the replica group.
+    assert all(r["reads_routed"] == N_READERS * READS_PER_READER
+               for r in reads)
+
+    # Stronger acceptance / ordering must not be cheaper than acc=1.
+    by_comp = {w["composition"]: w["mean_ms"] for w in writes}
+    assert all(w["failures"] == 0 for w in writes)
+    assert by_comp["active acc=ALL"] >= by_comp["active acc=1"]
+    assert by_comp["active total order"] >= by_comp["active acc=1"]
+    assert by_comp["passive (pb)"] >= by_comp["active acc=1"]
+
+    # Failover: no acknowledged write lost, exactly one promotion, and
+    # the outage is bounded by the timeout + promotion, not unbounded.
+    assert failover["lost_acked"] == 0
+    assert failover["acked"] == failover["writes"]
+    assert failover["promotions"] == 1
+    assert failover["failover_retries"] == 1
+    assert failover["max_write_ms"] < (FAILOVER_BOUND + 1.0) * 1000

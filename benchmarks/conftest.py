@@ -1,0 +1,22 @@
+"""Benchmark-suite pytest options.
+
+The benchmarks are parameterised by environment variables
+(``REPRO_BENCH_TINY``, ``REPRO_X17_PROFILE``, ...) so CI YAML can set
+them per step; this conftest adds the ergonomic command-line spellings
+and translates them *before* the bench modules import and read the
+environment.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--dist", choices=("uniform", "zipf"), default=None,
+        help="key distribution for bench_x17 (same as REPRO_X17_DIST)")
+
+
+def pytest_configure(config):
+    dist = config.getoption("--dist")
+    if dist is not None:
+        os.environ["REPRO_X17_DIST"] = dist

@@ -41,6 +41,13 @@ from repro.placement import (
     RebindDriver,
     build_elastic_kv,
 )
+from repro.replication import (
+    ReplicaGroup,
+    ReplicaSpec,
+    ReplicationManager,
+    active_replicas,
+    primary_backup,
+)
 from repro.runtime import AsyncioRuntime, SimRuntime
 
 __version__ = "1.0.0"
@@ -73,5 +80,10 @@ __all__ = [
     "build_elastic_kv",
     "RebindDriver",
     "ReplyCache",
+    "ReplicaSpec",
+    "ReplicaGroup",
+    "ReplicationManager",
+    "active_replicas",
+    "primary_backup",
     "__version__",
 ]

@@ -58,7 +58,11 @@ METRIC_NAMESPACES: Dict[str, str] = {
                 "executions, reply cache)",
     "placement.load.": "observatory: per-key load accounting (lookup "
                        "volume and top-K hot keys per shard)",
-    "placement.": "elastic placement plane (ring, migrations, rebinds)",
+    "placement.": "elastic placement plane (ring, migrations, rebinds, "
+                  "drain-averting revives)",
+    "repl.": "replication plane: replica groups (promotions, demotions, "
+             "shrink/regrow, resyncs, backup sync traffic, failover "
+             "retries, parked writes, per-group sync gauges)",
     "obs.profile.": "observatory: kernel/handler/marshal profiler",
     "obs.slo.": "observatory: windowed latency watermarks and breaches",
     "obs.recorder.": "observatory: flight-recorder ring accounting",

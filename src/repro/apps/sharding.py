@@ -210,7 +210,8 @@ def build_sharded_kv(deployment: Any, n_shards: int, *,
                      router: str = "ring",
                      vnodes: int = 64,
                      seed: int = 0,
-                     observe: bool = False) -> ShardedKV:
+                     observe: bool = False,
+                     replication: Any = None) -> ShardedKV:
     """Deploy ``n_shards`` KV services and return a routed client.
 
     Pass a single ``spec`` for uniform shards or per-shard ``specs``
@@ -222,6 +223,16 @@ def build_sharded_kv(deployment: Any, n_shards: int, *,
     (``"modulo"``).  Returns a :class:`ShardedKV` bound to the first
     client; build more views over the same router for the other client
     pids.
+
+    ``replication`` turns every shard into a replica group: pass one
+    :class:`~repro.replication.spec.ReplicaSpec` for uniform shards or a
+    sequence of them (length ``n_shards``) for per-shard consistency.
+    The replica count and composed micro-protocols then come from the
+    ReplicaSpec (``spec``/``specs``/``servers_per_shard`` must be left
+    at their defaults), every composition is validated against the
+    Figure-4 dependency graph up front, and the deployment's call path
+    splits read/write routing per shard — reads to any in-sync replica,
+    writes through the group (active) or the primary (passive).
     """
     if n_shards < 1:
         raise ReproError("need at least one shard")
@@ -230,6 +241,23 @@ def build_sharded_kv(deployment: Any, n_shards: int, *,
     if router not in ("ring", "modulo"):
         raise ReproError(f"unknown router kind {router!r}; "
                          f"expected 'ring' or 'modulo'")
+    rspecs = None
+    if replication is not None:
+        from repro.replication import ReplicaSpec
+        if isinstance(replication, ReplicaSpec):
+            rspecs = [replication] * n_shards
+        else:
+            rspecs = list(replication)
+        if len(rspecs) != n_shards:
+            raise ReproError(f"got {len(rspecs)} ReplicaSpecs for "
+                             f"{n_shards} shards")
+        if spec is not None or specs is not None or servers_per_shard != 1:
+            raise ReproError(
+                "replication= supplies each shard's spec and replica "
+                "count; don't also pass spec/specs/servers_per_shard")
+        # Validate every composition before deploying anything: an
+        # illegal shard must fail the whole build, not shard k of n.
+        specs = [rspec.service_spec() for rspec in rspecs]
     if specs is None:
         specs = [spec if spec is not None else ServiceSpec()] * n_shards
 
@@ -239,12 +267,18 @@ def build_sharded_kv(deployment: Any, n_shards: int, *,
         name = f"{name_prefix}-{i}"
         svc = deployment.add_service(
             name, specs[i], app_factory,
-            servers=servers_per_shard,
+            servers=(servers_per_shard if rspecs is None
+                     else rspecs[i].replicas),
             clients=clients if first is None else first.client_pids,
             observe=observe)
         if first is None:
             first = svc
         names.append(name)
+    if rspecs is not None:
+        from repro.replication import ReplicationManager
+        manager = ReplicationManager.ensure(deployment)
+        for name, rspec in zip(names, rspecs):
+            manager.replicate(name, rspec)
     if router == "ring":
         routed: ShardRouter = RingRouter(names, vnodes=vnodes, seed=seed,
                                          metrics=deployment.metrics)

@@ -250,6 +250,12 @@ class Deployment:
             self._membership = HeartbeatMembership(
                 interval=heartbeat_interval, suspect_after=suspect_after)
 
+        #: The replication directory (:class:`~repro.replication.manager.
+        #: ReplicationManager`), installed by its constructor when the
+        #: first replica group is registered; None keeps the call path's
+        #: replication check to a single is-None test.
+        self.replication: Any = None
+
         #: The measurement plane and its two call-path hooks (all None
         #: when disabled, keeping the hot paths on a single is-None
         #: test).  Built last: it subscribes to membership and hooks the
@@ -421,7 +427,17 @@ class Deployment:
         attempt completed, its reply is returned straight from the
         per-service :class:`~repro.core.replycache.ReplyCache` without
         re-execution — the safe way to retry after a rebind has pointed
-        the name at servers that never saw the original call.
+        the name at servers that never saw the original call.  The
+        cache is deployment-side, so the filter also spans replica
+        promotions: a retry against a newly promoted primary is
+        answered without re-executing.
+
+        When the service is a registered replica group
+        (``deployment.replication``), target selection defers to the
+        group: reads narrow to one in-sync replica, passive writes to
+        the elected primary (parking across promotions), and a passive
+        write's state change is transferred to the backups before the
+        result is returned.
         """
         svc = self.service(service)
         instruments = self._call_instruments.get(service)
@@ -447,8 +463,14 @@ class Deployment:
                 f"{service!r} (its participants: "
                 f"{sorted(svc.grpcs)})")
         group = self.registry.lookup(service)
+        rgroup = None if self.replication is None \
+            else self.replication.groups.get(service)
         start = self.runtime.now()
+        if rgroup is not None:
+            group = await rgroup.admit(op, group)
         result = await grpc.call(op, args, group)
+        if rgroup is not None:
+            result = await rgroup.complete(grpc, op, args, result, group)
         latency = self.runtime.now() - start
         calls_counter.inc()
         status_counter = status_counters.get(result.status.value)

@@ -11,9 +11,15 @@ site liveness:
 * **suspicion** shrinks the bound group — calls stop waiting on a dead
   replica the moment it is suspected, instead of timing out against it;
 * **recovery** regrows the group toward the service's full server set;
-* a shard service whose *last* bound server is suspected cannot shrink
-  further; if a :class:`~repro.placement.plane.PlacementPlane` routes
-  keys to it, the driver schedules a :meth:`~repro.placement.plane.
+* the driver *prefers shrinking a binding over draining a shard*: when
+  the last bound server of a replicated shard is suspected but the
+  :class:`~repro.replication.manager.ReplicationManager` still knows
+  live replicas outside the binding, the binding is re-pointed at those
+  survivors (``placement.rebind.revive``) instead of abandoning the
+  shard;
+* only a shard with no live replica at all is truly dead; if a
+  :class:`~repro.placement.plane.PlacementPlane` routes keys to it, the
+  driver schedules a :meth:`~repro.placement.plane.
   PlacementPlane.drain_dead_shard` so the dead shard's key ranges are
   salvaged from stable storage and re-homed onto the survivors.
 
@@ -70,9 +76,25 @@ class RebindDriver:
                                    sorted(members - {pid}))
             self.metrics.counter("placement.rebind.shrink").inc()
             return
-        # Last bound replica: the service is dead as a whole.  The
-        # binding is left in place (there is nothing smaller to bind),
-        # but its key ranges can still be rescued.
+        # Last bound server suspected.  A replica group may still have
+        # live replicas *outside* the binding (suspected earlier and
+        # recovered without a regrow): shrinking the binding onto them
+        # is strictly cheaper than draining the shard, so it wins.
+        repl = getattr(self.deployment, "replication", None)
+        if repl is not None and repl.group(service.name) is not None:
+            survivors = sorted(set(repl.live_members(service.name))
+                               - {pid})
+            if survivors:
+                self.deployment.rebind(service.name, survivors)
+                self.metrics.counter("placement.rebind.revive").inc()
+                if self._flight is not None:
+                    self._flight.note("drain-averted",
+                                      service=service.name,
+                                      members=survivors)
+                return
+        # The service is dead as a whole.  The binding is left in place
+        # (there is nothing smaller to bind), but its key ranges can
+        # still be rescued.
         if (self.plane is not None and service.name in self.plane.ring
                 and service.name not in self._draining):
             self._draining.add(service.name)

@@ -145,9 +145,15 @@ class PlacementPlane:
         :func:`build_elastic_kv`.  Re-adding a previously drained or
         removed shard reuses its deployed service; any stale pre-crash
         state is wiped before the shard rejoins the ring, so it can never
-        resurrect keys it no longer owns.
+        resurrect keys it no longer owns.  Under a replicated layout
+        (``build_elastic_kv(replication=...)``) the new shard is a whole
+        replica group: it gets the ReplicaSpec's server count and
+        composition, and registers with the deployment's
+        :class:`~repro.replication.manager.ReplicationManager` before any
+        key moves in — migration then transfers ranges group-to-group.
         """
         defaults = self.defaults
+        rspec = defaults.get("replication")
         if name is None:
             prefix = defaults.get("name_prefix", "shard")
             while f"{prefix}-{self._next_index}" in self.ring:
@@ -175,6 +181,10 @@ class PlacementPlane:
                     "servers_per_shard", 1),
                 clients=defaults.get("client_pids",
                                      [self.coordinator]))
+            if rspec is not None:
+                from repro.replication import ReplicationManager
+                ReplicationManager.ensure(deployment).replicate(
+                    name, rspec)
         def reshape() -> HashRing:
             if name in self.ring:
                 raise PlacementError(
@@ -448,7 +458,8 @@ def build_elastic_kv(deployment: Any, n_shards: int, *,
                      seed: int = 0,
                      drain_grace: float = 0.0,
                      name_prefix: str = "shard",
-                     app_factory: Any = StableKVStore):
+                     app_factory: Any = StableKVStore,
+                     replication: Any = None):
     """Deploy ``n_shards`` stable-backed KV services under a placement
     plane; returns ``(plane, kv)``.
 
@@ -459,10 +470,24 @@ def build_elastic_kv(deployment: Any, n_shards: int, *,
     :class:`~repro.apps.kvstore.StableKVStore`, whose acknowledged
     writes survive crashes and are therefore salvageable when a shard
     dies mid-migration.
+
+    ``replication`` (a :class:`~repro.replication.spec.ReplicaSpec`)
+    makes every shard — current and future — a replica group: the
+    ReplicaSpec supplies each shard's server count and composed
+    micro-protocols (``spec``/``servers_per_shard`` must then be left at
+    their defaults), the deployment's call path splits read/write
+    routing per shard, and migrations move whole groups.
     """
     if n_shards < 1:
         raise PlacementError("need at least one shard")
-    if spec is None:
+    if replication is not None:
+        if spec is not None or servers_per_shard != 1:
+            raise PlacementError(
+                "replication= supplies each shard's spec and replica "
+                "count; don't also pass spec/servers_per_shard")
+        spec = replication.service_spec()    # Figure-4 validation, now
+        servers_per_shard = replication.replicas
+    elif spec is None:
         spec = ServiceSpec(reliable=True, unique=True, execution="serial",
                            bounded=2.0, acceptance=1)
     plane = PlacementPlane(deployment, vnodes=vnodes, seed=seed,
@@ -476,12 +501,18 @@ def build_elastic_kv(deployment: Any, n_shards: int, *,
         if first is None:
             first = service
         plane.adopt(name)
+    if replication is not None:
+        from repro.replication import ReplicationManager
+        manager = ReplicationManager.ensure(deployment)
+        for i in range(n_shards):
+            manager.replicate(f"{name_prefix}-{i}", replication)
     plane.defaults = {
         "spec": spec,
         "app_factory": app_factory,
         "servers_per_shard": servers_per_shard,
         "client_pids": list(first.client_pids),
         "name_prefix": name_prefix,
+        "replication": replication,
     }
     plane._next_index = n_shards
     return plane, ElasticKV(plane, first.client_pids[0])

@@ -1,0 +1,87 @@
+"""The deployment's replication directory and membership bridge.
+
+One :class:`ReplicationManager` per deployment maps shard-service names
+to their :class:`~repro.replication.group.ReplicaGroup` and feeds every
+group the deployment-level membership stream (the same deduplicated
+suspicion/recovery events the :class:`~repro.placement.driver.
+RebindDriver` consumes), so promotions and resyncs happen whether or
+not automatic rebinding is enabled.
+
+Installing the manager is what switches the deployment's call path into
+replication-aware routing: :meth:`~repro.core.deployment.Deployment.
+call` consults ``deployment.replication`` on every call and defers
+target selection to the service's replica group when one is registered.
+Services without a registered group are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.replication.group import ReplicaGroup
+from repro.replication.spec import ReplicaSpec
+
+__all__ = ["ReplicationManager"]
+
+
+class ReplicationManager:
+    """Maps service names to replica groups; bridges membership."""
+
+    def __init__(self, deployment: Any):
+        if getattr(deployment, "replication", None) is not None:
+            raise ReproError(
+                "this deployment already has a ReplicationManager; "
+                "use ReplicationManager.ensure()")
+        self.deployment = deployment
+        self.groups: Dict[str, ReplicaGroup] = {}
+        deployment.replication = self
+        deployment.watch_membership(self._on_change)
+        deployment.metrics.gauge("repl.groups").set(0)
+
+    @classmethod
+    def ensure(cls, deployment: Any) -> "ReplicationManager":
+        """The deployment's manager, created on first use."""
+        manager = getattr(deployment, "replication", None)
+        return manager if manager is not None else cls(deployment)
+
+    # ------------------------------------------------------------------
+
+    def replicate(self, service: str, rspec: ReplicaSpec) -> ReplicaGroup:
+        """Register ``service`` (already deployed with ``rspec.replicas``
+        servers) as a replica group."""
+        if service in self.groups:
+            raise ReproError(
+                f"service {service!r} is already a replica group")
+        group = ReplicaGroup(self.deployment, service, rspec)
+        self.groups[service] = group
+        self.deployment.metrics.gauge("repl.groups").set(len(self.groups))
+        return group
+
+    def group(self, service: str) -> Optional[ReplicaGroup]:
+        return self.groups.get(service)
+
+    def live_members(self, service: str) -> List[int]:
+        """The service's currently-unsuspected replicas ([] when the
+        service is not replicated)."""
+        group = self.groups.get(service)
+        return group.live_members() if group is not None else []
+
+    def group_is_dead(self, service: str) -> bool:
+        """True when every replica of a *registered* group is down."""
+        group = self.groups.get(service)
+        return group is not None and group.is_dead
+
+    # ------------------------------------------------------------------
+
+    def _on_change(self, pid: int, alive: bool) -> None:
+        for group in self.groups.values():
+            if pid not in group.members:
+                continue
+            if alive:
+                group.on_recover(pid)
+            else:
+                group.on_suspect(pid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReplicationManager groups={sorted(self.groups)}>"

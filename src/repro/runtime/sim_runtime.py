@@ -68,7 +68,9 @@ class SimRuntime(Runtime):
         return Lock()
 
     def event(self) -> Event:
-        return Event()
+        # Bound to the owning kernel so configuration actions (crash ->
+        # promotion -> gate release) may set it between runs.
+        return Event(kernel=self.kernel)
 
     def queue(self) -> Queue:
         return Queue()

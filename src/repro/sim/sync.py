@@ -104,10 +104,19 @@ class Lock(Semaphore):
 
 
 class Event:
-    """A one-shot level-triggered event (like ``threading.Event``)."""
+    """A one-shot level-triggered event (like ``threading.Event``).
 
-    def __init__(self) -> None:
+    ``kernel`` optionally binds the event to its owning kernel, which
+    lets :meth:`set` be called *between* kernel runs (membership-driven
+    reconfiguration — a crash notification promoting a replica, say —
+    happens outside any task); parked waiters are moved to the ready
+    queue and resume at the next run.  Unbound events fall back to the
+    currently running kernel, as before.
+    """
+
+    def __init__(self, kernel: Optional[Any] = None) -> None:
         self._set = False
+        self._kernel = kernel
         self._waiters: Deque[Task] = deque()
 
     def is_set(self) -> bool:
@@ -118,7 +127,10 @@ class Event:
         if self._set:
             return
         self._set = True
-        kernel = current_kernel()
+        if not self._waiters:
+            return
+        kernel = self._kernel if self._kernel is not None \
+            else current_kernel()
         while self._waiters:
             kernel._reschedule(self._waiters.popleft())
 
