@@ -1,0 +1,203 @@
+"""X19 — live adaptation: mid-run Total Order -> FIFO -> Total Order.
+
+The experiment the adaptation plane exists for.  A three-server group
+runs the replicated-state-machine composition (Total Order, acceptance
+2) under sustained closed-loop client load.  Mid-run the ordering
+leader develops a performance failure (every link toward it gains a
+large delay), and the *running* service is reconfigured — no restart,
+no dropped call — to FIFO delivery, which the two fast replicas can
+satisfy without the slow leader's ORDER round.  After the leader heals,
+a second live switch restores the original composition.
+
+Four phases, all under continuous load:
+
+* **A** — Total Order, healthy (the baseline);
+* **B** — Total Order, slow leader (why you want to adapt: every call
+  pays the leader's delay twice);
+* **C** — FIFO, slow leader (the win: the fast replicas answer);
+* **D** — Total Order, healed (round-trip complete: the service is
+  back on its original composition, epoch 2).
+
+Assertions:
+
+* **zero acknowledged-call loss** — every call issued across all four
+  phases (including the ones parked at the adaptation gate mid-switch)
+  completes OK;
+* the FIFO phase is strictly faster than the degraded Total Order
+  phase;
+* both switches keep the parameter-free micro-protocols' running
+  instances (reply stores, call-id cursors survive);
+* **reseed determinism** — the whole scenario, run twice from the same
+  seed, produces byte-identical results (latencies, fence drops,
+  parked counts included): the adaptation plane adds no scheduling
+  nondeterminism.
+
+Modes: full (default) or ``REPRO_BENCH_TINY=1`` (CI bench-smoke).
+Writes ``BENCH_x19_adaptation.json``.
+"""
+
+import os
+
+from _common import (attach, percentiles, run_once, save_bench_json,
+                     save_result)
+
+from repro import Deployment, LinkSpec, ServiceSpec
+from repro.apps import KVStore
+from repro.bench import banner, render_table
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+LINK = LinkSpec(delay=0.01, jitter=0.0)
+N_SERVERS = 3
+N_LANES = 2
+CALLS_PER_PHASE = 8 if TINY else 60    # completions per phase (summed
+                                       # over lanes) before moving on
+SLOW = 0.25                            # leader's injected one-way delay
+
+PHASES = ("A", "B", "C", "D")
+PHASE_LABELS = {
+    "A": "total order, healthy",
+    "B": "total order, slow leader",
+    "C": "fifo, slow leader",
+    "D": "total order, healed",
+}
+
+
+def run_point(seed=19):
+    dep = Deployment(seed=seed, default_link=LINK, keep_trace=False)
+    spec = ServiceSpec(reliable=True, unique=True, ordering="total",
+                       acceptance=2)
+    svc = dep.add_service("adaptive", spec, KVStore,
+                          servers=N_SERVERS, clients=N_LANES)
+    leader = max(svc.server_pids)      # the paper's leader rule
+    phase = ["A"]
+    latencies = {p: [] for p in PHASES}
+    issued = [0]
+    completed_ok = [0]
+
+    async def lane(pid, lane_no):
+        i = 0
+        while phase[0] != "done":
+            begin = dep.runtime.now()
+            issued[0] += 1
+            result = await dep.call(pid, "adaptive", "put",
+                                    {"key": f"l{lane_no}-k{i}",
+                                     "value": i})
+            if result.ok:
+                completed_ok[0] += 1
+            bucket = latencies.get(phase[0])
+            if bucket is not None:     # a call landing after phase D
+                bucket.append(round(dep.runtime.now() - begin, 9))
+            i += 1
+
+    async def until(p):
+        while len(latencies[p]) < CALLS_PER_PHASE:
+            await dep.runtime.sleep(0.005)
+
+    async def scenario():
+        tasks = [dep.spawn_client(pid, lane(pid, n))
+                 for n, pid in enumerate(svc.client_pids)]
+        await until("A")
+        dep.make_slow(leader, SLOW)
+        phase[0] = "B"
+        await until("B")
+        # The first live switch, under load: lanes keep calling; the
+        # engine parks them, drains, swaps, releases.
+        degrade = await dep.adapt(
+            "adaptive", svc.spec.with_(ordering="fifo"),
+            reason="bench: leader slow")
+        phase[0] = "C"
+        await until("C")
+        dep.fabric.set_links_to(leader, LINK)
+        restore = await dep.adapt(
+            "adaptive", svc.spec.with_(ordering="total"),
+            reason="bench: leader healed")
+        phase[0] = "D"
+        await until("D")
+        phase[0] = "done"
+        for task in tasks:
+            await dep.runtime.join(task)
+        return degrade, restore
+
+    degrade, restore = dep.run_scenario(scenario(), extra_time=1.0)
+    fenced = int(dep.metrics.counter("adapt.fence.dropped").value)
+    dep.shutdown()
+
+    def mean_ms(p):
+        vals = latencies[p]
+        return round(sum(vals) / len(vals) * 1000, 3)
+
+    return {
+        "issued": issued[0],
+        "completed_ok": completed_ok[0],
+        "per_phase": {p: {"calls": len(latencies[p]),
+                          "mean_ms": mean_ms(p),
+                          **percentiles(latencies[p])}
+                      for p in PHASES},
+        "fenced_messages": fenced,
+        "switches": [
+            {"reason": r.reason, "epoch": r.epoch, "parked": r.parked,
+             "kept": r.kept, "drain_ms": round(r.drain_s * 1000, 3),
+             "switch_ms": round(r.switch_s * 1000, 3),
+             "to": r.to_protocols}
+            for r in (degrade, restore)],
+    }
+
+
+def test_x19_adaptation(benchmark):
+    row = run_once(benchmark, run_point)
+
+    # Zero acknowledged-call loss across both live switches.
+    assert row["completed_ok"] == row["issued"]
+    for p in PHASES:
+        assert row["per_phase"][p]["calls"] >= CALLS_PER_PHASE
+
+    # The switch is why you adapt: FIFO under the slow leader must beat
+    # degraded Total Order (which pays the leader's delay per call).
+    degraded = row["per_phase"]["B"]["mean_ms"]
+    adapted = row["per_phase"]["C"]["mean_ms"]
+    assert adapted < degraded
+    win = round(degraded / adapted, 2)
+
+    # Round trip: epoch 1 then 2, parameter-free instances kept.
+    assert [s["epoch"] for s in row["switches"]] == [1, 2]
+    for switch in row["switches"]:
+        assert "Unique_Execution" in switch["kept"]
+        assert "RPC_Main" in switch["kept"]
+    assert "Total_Order" in row["switches"][1]["to"]
+
+    # Reseed determinism: the adaptation plane adds no scheduling
+    # nondeterminism — the whole scenario replays byte-identically.
+    assert run_point(seed=19) == row
+
+    table = render_table(
+        ["phase", "composition", "calls", "mean ms", "p95 ms"],
+        [[p, PHASE_LABELS[p], row["per_phase"][p]["calls"],
+          row["per_phase"][p]["mean_ms"], row["per_phase"][p]["p95_ms"]]
+         for p in PHASES]
+        + [["", "fifo-vs-degraded speedup", "", f"{win}x", ""]])
+    switch_table = render_table(
+        ["switch", "epoch", "parked", "kept", "drain ms"],
+        [[s["reason"], s["epoch"], s["parked"], len(s["kept"]),
+          s["drain_ms"]] for s in row["switches"]])
+    save_result("x19_adaptation", "\n".join([
+        banner("X19 — live adaptation: Total Order -> FIFO -> Total "
+               "Order on a running group",
+               f"{N_SERVERS} servers, {N_LANES} closed-loop lanes, "
+               f"{CALLS_PER_PHASE} calls/phase, leader delay "
+               f"{SLOW * 1000:.0f}ms; zero acknowledged-call loss"),
+        table, "", switch_table,
+        "", f"stale cross-epoch messages fenced: "
+            f"{row['fenced_messages']}"]))
+    attach(benchmark, {"speedup": win,
+                       "parked": row["switches"][0]["parked"],
+                       "fenced": row["fenced_messages"]})
+    save_bench_json("x19_adaptation", {
+        "mode": "tiny" if TINY else "full",
+        "issued": row["issued"],
+        "completed_ok": row["completed_ok"],
+        "speedup_fifo_vs_degraded_total": win,
+        "per_phase": row["per_phase"],
+        "switches": row["switches"],
+        "fenced_messages": row["fenced_messages"],
+    }, tiny=TINY)

@@ -63,6 +63,10 @@ METRIC_NAMESPACES: Dict[str, str] = {
     "repl.": "replication plane: replica groups (promotions, demotions, "
              "shrink/regrow, resyncs, backup sync traffic, failover "
              "retries, parked writes, per-group sync gauges)",
+    "adapt.": "live adaptation plane: switches, parked calls, drain/"
+              "switch durations, plan validation verdicts, aborts, "
+              "fence drops, policy decisions (degrade/restore/"
+              "cancelled)",
     "obs.profile.": "observatory: kernel/handler/marshal profiler",
     "obs.slo.": "observatory: windowed latency watermarks and breaches",
     "obs.recorder.": "observatory: flight-recorder ring accounting",

@@ -256,6 +256,17 @@ class Deployment:
         #: replication check to a single is-None test.
         self.replication: Any = None
 
+        #: The live-adaptation engine (:class:`~repro.adapt.engine.
+        #: AdaptationManager`), installed by its constructor on first
+        #: use (:meth:`adapt`/:meth:`auto_adapt`); None keeps the call
+        #: path's adaptation check to a single is-None test.
+        self.adaptation: Any = None
+
+        # Reconfiguration drivers installed by auto_rebind/auto_adapt;
+        # shutdown() detaches them from the membership stream.
+        self._rebind_driver: Any = None
+        self._adapt_driver: Any = None
+
         #: The measurement plane and its two call-path hooks (all None
         #: when disabled, keeping the hot paths on a single is-None
         #: test).  Built last: it subscribes to membership and hooks the
@@ -462,15 +473,27 @@ class Deployment:
                 f"node {client_pid} has no composite for service "
                 f"{service!r} (its participants: "
                 f"{sorted(svc.grpcs)})")
-        group = self.registry.lookup(service)
-        rgroup = None if self.replication is None \
-            else self.replication.groups.get(service)
-        start = self.runtime.now()
-        if rgroup is not None:
-            group = await rgroup.admit(op, group)
-        result = await grpc.call(op, args, group)
-        if rgroup is not None:
-            result = await rgroup.complete(grpc, op, args, result, group)
+        # Adaptation-aware admission: while the service is mid-switch,
+        # new calls park here until the new composition is live; the
+        # admit/release bracket is also how the engine knows when the
+        # old composition has drained.
+        adapt = self.adaptation
+        if adapt is not None:
+            await adapt.admit(service)
+        try:
+            group = self.registry.lookup(service)
+            rgroup = None if self.replication is None \
+                else self.replication.groups.get(service)
+            start = self.runtime.now()
+            if rgroup is not None:
+                group = await rgroup.admit(op, group)
+            result = await grpc.call(op, args, group)
+            if rgroup is not None:
+                result = await rgroup.complete(grpc, op, args, result,
+                                               group)
+        finally:
+            if adapt is not None:
+                adapt.release(service)
         latency = self.runtime.now() - start
         calls_counter.inc()
         status_counter = status_counters.get(result.status.value)
@@ -506,6 +529,18 @@ class Deployment:
         else:
             self.fabric.watch_membership(watcher)
 
+    def unwatch_membership(self,
+                           watcher: Callable[[int, bool], None]) -> None:
+        """Detach a :meth:`watch_membership` subscriber.
+
+        The inverse every reconfiguration driver needs to close
+        cleanly; a no-op when the watcher was never attached.
+        """
+        if self._membership_mode == "heartbeat":
+            self._membership.unwatch(watcher)
+        else:
+            self.fabric.unwatch_membership(watcher)
+
     def auto_rebind(self, *, plane: Any = None, regrow: bool = True):
         """Drive :meth:`rebind` from the membership service.
 
@@ -515,8 +550,52 @@ class Deployment:
         whose last server died is drained onto the surviving shards.
         """
         from repro.placement.driver import RebindDriver
+        if self._rebind_driver is not None:
+            self._rebind_driver.close()
         driver = RebindDriver(self, plane=plane, regrow=regrow)
         self._rebind_driver = driver
+        return driver
+
+    # ------------------------------------------------------------------
+    # Live adaptation
+    # ------------------------------------------------------------------
+
+    async def adapt(self, service: str, target: Any, *,
+                    reason: str = "",
+                    drain_timeout: Optional[float] = None,
+                    drain_poll: Optional[float] = None) -> Any:
+        """Reconfigure a *running* service's micro-protocol composition.
+
+        ``target`` is the new :class:`~repro.core.config.ServiceSpec`
+        (or a full :class:`~repro.adapt.plan.AdaptationPlan`).  The
+        switch is guarded: the target is validated against the Figure-4
+        graph (plus the replication-mode edges when the service is a
+        replica group), new calls park, in-flight calls drain, every
+        member's composite is re-linked atomically in virtual time, and
+        the parked calls resume under the new composition — no
+        acknowledged call is ever lost.  Returns the
+        :class:`~repro.adapt.engine.AdaptationReport`.
+        """
+        from repro.adapt.engine import AdaptationManager
+        return await AdaptationManager.ensure(self).adapt(
+            service, target, reason=reason, drain_timeout=drain_timeout,
+            drain_poll=drain_poll)
+
+    def auto_adapt(self, **kwargs: Any):
+        """Drive :meth:`adapt` from the membership service.
+
+        Returns the installed :class:`~repro.adapt.driver.
+        AdaptationDriver`: suspicion of a service's server degrades its
+        ordering (Total Order pays a leader round per call — the wrong
+        protocol while the leader may be the suspect), healing restores
+        the original composition, both with hysteresis.  Keyword
+        arguments are forwarded to the driver.
+        """
+        from repro.adapt.driver import AdaptationDriver
+        if self._adapt_driver is not None:
+            self._adapt_driver.close()
+        driver = AdaptationDriver(self, **kwargs)
+        self._adapt_driver = driver
         return driver
 
     def rebind(self, service: str,
@@ -661,6 +740,12 @@ class Deployment:
         naturally.  Also releases the observatory's process-global
         marshaller hook.
         """
+        if self._adapt_driver is not None:
+            self._adapt_driver.close()
+        if self._rebind_driver is not None:
+            self._rebind_driver.close()
+        if self.replication is not None:
+            self.replication.close()
         if self.observatory is not None:
             self.observatory.close()
         self.runtime.kernel.shutdown()

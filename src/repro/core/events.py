@@ -122,6 +122,14 @@ class EventBus:
         # (insertion-ordered).  A dict so :meth:`disarm` — called once
         # per completed bounded call — is O(1) instead of a list scan.
         self._timeout_regs: Dict[int, Registration] = {}
+        # Owners whose registrations have been retired by a live
+        # adaptation (:meth:`retire_owner`).  Self-rearming handlers of a
+        # removed micro-protocol (Reliable Communication's retransmit
+        # loop, Probe Orphan's probe rounds) may still be mid-flight when
+        # the owner is retired; their re-registration attempts land here
+        # and are dropped, so a swapped-out protocol cannot ghost its
+        # timers back into the bus.  Empty for never-adapted composites.
+        self._retired_owners: set = set()
         # Observability: the recorder and the kernel profiler are
         # resolved ONCE here (attach-time check; see Runtime.attach_obs
         # and Runtime.attach_profiler).  ``None`` keeps every dispatch
@@ -149,6 +157,12 @@ class EventBus:
         attribution (filled in by :meth:`MicroProtocol.register`).
         """
         self._seq += 1
+        if owner and owner in self._retired_owners:
+            # A retired owner's in-flight handler trying to re-arm
+            # itself; hand back an inert registration (never dispatched,
+            # no timer armed) so the caller's code path stays unchanged.
+            return Registration(event, handler,
+                                float(priority or 0.0), self._seq, owner)
         if event == TIMEOUT:
             if priority is None:
                 raise KernelError("TIMEOUT registration requires an interval")
@@ -462,6 +476,45 @@ class EventBus:
                     TIMEOUT, reg.owner, _handler_name(reg.handler),
                     reg.priority, start, self.runtime.now(),
                     node=self.node_id, cancelled=dispatch.cancelled)
+
+    # ------------------------------------------------------------------
+    # Owner retirement (live adaptation)
+    # ------------------------------------------------------------------
+
+    def retire_owner(self, owner: str) -> int:
+        """Remove every registration tagged ``owner`` and bar new ones.
+
+        The bus half of swapping a micro-protocol out of a running
+        composite: all its event handlers are deregistered, its pending
+        TIMEOUTs disarmed, and — until :meth:`unretire_owner` — any
+        re-registration attempt from a still-unwinding handler of that
+        owner is silently dropped.  Returns the number of registrations
+        removed.  ``owner`` must be non-empty (framework registrations
+        carry no owner and are never retired).
+        """
+        if not owner:
+            raise KernelError("retire_owner() requires a non-empty owner")
+        removed = 0
+        for event, regs in list(self._handlers.items()):
+            kept = [reg for reg in regs if reg.owner != owner]
+            if len(kept) != len(regs):
+                removed += len(regs) - len(kept)
+                self._handlers[event] = kept
+                self._tables.pop(event, None)
+        for seq, reg in list(self._timeout_regs.items()):
+            if reg.owner == owner:
+                reg.timer.cancel()
+                del self._timeout_regs[seq]
+                removed += 1
+        self._retired_owners.add(owner)
+        if self._obs is not None:
+            self._obs.record_event("retire_owner", node=self.node_id,
+                                   owner=owner, removed=removed)
+        return removed
+
+    def unretire_owner(self, owner: str) -> None:
+        """Allow ``owner`` to register again (it is being swapped in)."""
+        self._retired_owners.discard(owner)
 
     def pending_timeouts(self) -> int:
         """Number of armed TIMEOUT registrations (test/debug aid)."""

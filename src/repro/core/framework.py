@@ -41,6 +41,13 @@ class MicroProtocol:
 
     def __init__(self) -> None:
         self.composite: Optional["CompositeProtocol"] = None
+        #: Set by :meth:`detach` when a live adaptation swaps this
+        #: instance out.  In-flight handlers of a detached instance may
+        #: still be unwinding; their re-registration attempts (a
+        #: self-rearming TIMEOUT loop, say) are dropped here, at the
+        #: instance, so they cannot ghost handlers back into the bus
+        #: even when a same-named replacement has already registered.
+        self.detached = False
 
     # -- wiring ----------------------------------------------------------
 
@@ -69,6 +76,32 @@ class MicroProtocol:
         be cleared here.  Default: nothing to reset.
         """
 
+    def unconfigure(self) -> None:
+        """Undo :meth:`configure`'s effects on the composite's *shared*
+        state when this instance is swapped out of a running composite.
+
+        Handler deregistration is the framework's job
+        (:meth:`EventBus.retire_owner`); this hook is only for side
+        effects configure() left outside the bus — an installed execution
+        gate, a declared HOLD property.  Default: nothing to undo.
+        """
+
+    def detach(self) -> None:
+        """Remove this instance from its composite (live adaptation).
+
+        Runs :meth:`unconfigure`, retires every bus registration tagged
+        with this instance's name, and marks the instance detached so
+        in-flight handlers cannot re-register.  The composite reference
+        is kept: handlers still unwinding may touch shared state through
+        it.  A detached instance is never re-attached — adaptation
+        builds fresh instances.
+        """
+        if self.composite is None or self.detached:
+            return
+        self.detached = True
+        self.unconfigure()
+        self.bus.retire_owner(self.name)
+
     # -- framework operations (Section 3) --------------------------------
 
     @property
@@ -83,6 +116,11 @@ class MicroProtocol:
 
     def register(self, event: str, handler: Handler,
                  priority: Optional[float] = None) -> Registration:
+        if self.detached:
+            # A swapped-out instance's handler unwinding after detach():
+            # hand back an inert registration instead of re-wiring it.
+            return Registration(event, handler, priority or 0.0, -1,
+                                self.name)
         # The owner tag attributes dispatch records (and per-handler
         # virtual-time costs) to this micro-protocol in the obs layer.
         return self.bus.register(event, handler, priority, owner=self.name)
@@ -133,6 +171,22 @@ class CompositeProtocol(Protocol):
                                       micro=micro.name,
                                       composite=self.name)
         return self
+
+    def unlink(self, micro: MicroProtocol) -> None:
+        """Swap one micro-protocol out of the running composite.
+
+        The inverse of :meth:`add` for live adaptation: the instance is
+        detached (handlers retired, shared-state side effects undone) and
+        dropped from the linked list.  Callers are responsible for the
+        protocol-level safety of removing it (the adaptation engine
+        drains the composite first).
+        """
+        micro.detach()
+        if micro in self.micro_protocols:
+            self.micro_protocols.remove(micro)
+        if self.obs is not None:
+            self.obs.record_event("micro.detach", node=self.bus.node_id,
+                                  micro=micro.name, composite=self.name)
 
     def micro(self, name: str) -> MicroProtocol:
         """Look up a linked micro-protocol by name."""

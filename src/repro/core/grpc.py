@@ -59,6 +59,7 @@ __all__ = [
     "GroupRPC",
     "PendingCall",
     "gather_calls",
+    "ADAPT_EPOCH_KEY",
     "CALL_FROM_USER",
     "NEW_RPC_CALL",
     "REPLY_FROM_SERVER",
@@ -81,6 +82,12 @@ MEMBERSHIP_CHANGE = "MEMBERSHIP_CHANGE"
 #: live client's retransmission gets a fresh admission instead of being
 #: discarded as a duplicate.
 CALL_ABORTED = "CALL_ABORTED"
+
+#: Annotation key carrying the sender's adaptation epoch on every wire
+#: message of an adapted composite.  Never stamped (and never checked)
+#: while ``adapt_epoch`` is 0, so unadapted deployments stay byte-
+#: identical on the wire.
+ADAPT_EPOCH_KEY = "adapt.epoch"
 
 
 class GroupRPC(CompositeProtocol):
@@ -120,6 +127,14 @@ class GroupRPC(CompositeProtocol):
         #: Installed by RPC Main at configure time; other micro-protocols
         #: (FIFO Order, Total Order) call it to release gated calls.
         self.forward_up: Optional[Callable[..., Coroutine]] = None
+
+        #: Live-adaptation epoch: 0 until the first micro-protocol swap,
+        #: then bumped in lockstep across the whole group at each commit.
+        #: While non-zero, every outgoing message is stamped with it and
+        #: the :class:`~repro.adapt.engine.AdaptationFence` drops
+        #: arrivals from a different epoch — a message sent under the
+        #: old composition can never be dispatched under the new one.
+        self.adapt_epoch: int = 0
 
         #: Trace attribution: the bus's dispatch records carry this pid.
         self.bus.node_id = node.pid
@@ -252,6 +267,11 @@ class GroupRPC(CompositeProtocol):
             raise ConfigurationError(f"{self.name} has no transport below")
         if self.service:
             msg.service = self.service
+        if self.adapt_epoch:
+            if msg.annotations is None:
+                msg.annotations = {ADAPT_EPOCH_KEY: self.adapt_epoch}
+            else:
+                msg.annotations[ADAPT_EPOCH_KEY] = self.adapt_epoch
         await self.lower.push(dest, msg)
 
     async def deliver_to_server(self, op: str, args: Any) -> Any:

@@ -78,6 +78,9 @@ class CausalOrder(GRPCMicroProtocol):
         self.register(REPLY_FROM_SERVER, self.handle_reply, 1)
         self.register(CALL_ABORTED, self.handle_abort)
 
+    def unconfigure(self) -> None:
+        self.grpc.hold.retract(CAUSAL)
+
     async def handle_abort(self, key: CallKey) -> None:
         """Forget a killed call so its retransmission re-parks cleanly."""
         self._waiting.pop(key, None)

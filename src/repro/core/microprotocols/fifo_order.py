@@ -60,6 +60,25 @@ class FIFOOrder(GRPCMicroProtocol):
         self.register(MSG_FROM_NETWORK, self.msg_from_net, Prio.FIFO)
         self.register(REPLY_FROM_SERVER, self.handle_reply, 1)
 
+    def unconfigure(self) -> None:
+        self.grpc.hold.retract(FIFO)
+
+    def seed_progress(self, client: ProcessId, inc: int,
+                      next_id: int) -> None:
+        """Start ``client``'s order gating at ``next_id`` (adaptation).
+
+        A FIFO gate swapped into a *running* group must not seed from 1:
+        the clients' id cursors are already past it, so every arrival
+        would wait for predecessors that completed under the previous
+        composition.  The adaptation engine seeds each client's cursor
+        here during the switch.  Only moves forward — an already-known
+        client that is further along keeps its progress.
+        """
+        info = self.in_progress.get(client)
+        if info is None or info.inc < inc \
+                or (info.inc == inc and next_id > info.next):
+            self.in_progress[client] = _ClientProgress(inc, next_id)
+
     async def msg_from_net(self, msg: NetMsg) -> None:
         if msg.type is not NetOp.CALL:
             return

@@ -44,6 +44,17 @@ class RPCMain(GRPCMicroProtocol):
         # disambiguates them at the servers.
         self._next_id = 1
 
+    @property
+    def next_call_id(self) -> int:
+        """The id the next call from this composite will carry.
+
+        The adaptation engine reads every client's cursor during a
+        switch to seed freshly installed ordering gates
+        (:meth:`~repro.core.microprotocols.fifo_order.FIFOOrder.
+        seed_progress`).
+        """
+        return self._next_id
+
     def configure(self) -> None:
         grpc = self.grpc
         grpc.hold.declare(MAIN)

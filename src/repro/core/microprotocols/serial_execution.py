@@ -38,5 +38,13 @@ class SerialExecution(GRPCMicroProtocol):
         # configure() re-installs it as the gate.
         return
 
+    def unconfigure(self) -> None:
+        # Swapped out mid-run: clear the gate so executions stop
+        # serializing.  The composite is drained at this point, so no
+        # task is holding (or waiting on) the semaphore.
+        grpc = self.grpc
+        if grpc.execution_gate is grpc.serial:
+            grpc.execution_gate = None
+
 
 register_protocol(SerialExecution.protocol_name)

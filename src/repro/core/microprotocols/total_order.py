@@ -107,6 +107,9 @@ class TotalOrder(GRPCMicroProtocol):
                           0.5)
             self.register(MEMBERSHIP_CHANGE, self.handle_membership)
 
+    def unconfigure(self) -> None:
+        self.grpc.hold.retract(TOTAL)
+
     # ------------------------------------------------------------------
 
     def leader(self, server: Group) -> ProcessId:

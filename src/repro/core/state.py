@@ -215,6 +215,15 @@ class HoldRegistry:
         """Set ``HOLD[prop] = true``: calls wait for this property."""
         self._required[prop] = True
 
+    def retract(self, prop: str) -> None:
+        """Set ``HOLD[prop] = false``: stop gating calls on it.
+
+        Used when a live adaptation removes the micro-protocol that
+        declared the property — without this, every post-swap call would
+        wait forever for a signature no handler will ever provide.
+        """
+        self._required.pop(prop, None)
+
     def required(self) -> List[str]:
         return [name for name, needed in self._required.items() if needed]
 

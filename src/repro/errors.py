@@ -92,3 +92,12 @@ class PlacementError(ReproError):
 
 class MigrationError(PlacementError):
     """A live key migration could not complete safely."""
+
+
+class AdaptationError(ReproError):
+    """A live micro-protocol reconfiguration could not complete safely
+    (drain timeout, concurrent adaptation of the same service, ...).
+
+    Raised by :class:`repro.adapt.engine.AdaptationManager` strictly
+    *before* any handler has been touched: a failed adaptation leaves the
+    running composition exactly as it was."""

@@ -137,6 +137,19 @@ class HeartbeatMembership:
         self._watchers.append(watcher)
         self._ensure_recording()
 
+    def unwatch(self, watcher: Callable[[ProcessId, bool], None]) -> None:
+        """Detach a :meth:`watch` subscriber (no-op if never attached).
+
+        Closing a reconfiguration driver must stop its callbacks, or a
+        long-lived deployment leaks one dead listener per driver
+        lifecycle — and a closed driver would keep reacting to
+        suspicions.
+        """
+        try:
+            self._watchers.remove(watcher)
+        except ValueError:
+            pass
+
     def _ensure_recording(self) -> None:
         # One service-level listener per detector (not per composite):
         # feeds the deduplicated watch() stream.

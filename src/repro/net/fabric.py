@@ -273,6 +273,16 @@ class NetworkFabric:
         """Subscribe to crash/recover notifications (oracle detector)."""
         self._membership_watchers.append(watcher)
 
+    def unwatch_membership(self,
+                           watcher: Callable[[ProcessId, bool], None]
+                           ) -> None:
+        """Detach a :meth:`watch_membership` subscriber (no-op when it
+        was never attached)."""
+        try:
+            self._membership_watchers.remove(watcher)
+        except ValueError:
+            pass
+
     def notify_membership(self, pid: ProcessId, alive: bool) -> None:
         for watcher in list(self._membership_watchers):
             watcher(pid, alive)

@@ -54,11 +54,27 @@ class RebindDriver:
         self._draining: Set[str] = set()
         #: The observatory's flight recorder, or None.
         self._flight = getattr(deployment, "flight", None)
+        self._closed = False
         deployment.watch_membership(self._on_change)
+
+    def close(self) -> None:
+        """Detach from the membership stream: no further rebinds.
+
+        Every subscription this driver made is released, so a driver
+        replaced mid-run (or a deployment torn down and rebuilt in the
+        same process) does not keep a dead listener reacting to
+        suspicions.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.deployment.unwatch_membership(self._on_change)
 
     # ------------------------------------------------------------------
 
     def _on_change(self, pid: int, alive: bool) -> None:
+        if self._closed:
+            return
         for service in list(self.deployment.services.values()):
             if pid not in service.server_pids:
                 continue

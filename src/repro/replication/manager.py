@@ -45,6 +45,12 @@ class ReplicationManager:
         manager = getattr(deployment, "replication", None)
         return manager if manager is not None else cls(deployment)
 
+    def close(self) -> None:
+        """Detach from the membership stream and uninstall the manager."""
+        self.deployment.unwatch_membership(self._on_change)
+        if getattr(self.deployment, "replication", None) is self:
+            self.deployment.replication = None
+
     # ------------------------------------------------------------------
 
     def replicate(self, service: str, rspec: ReplicaSpec) -> ReplicaGroup:

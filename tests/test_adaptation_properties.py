@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) on adaptation-plan legality.
+
+The enumeration module (:func:`repro.core.enumerate.enumerate_services`)
+lists every composition the strict Figure-4 graph accepts.  Plan
+validation must agree with it exactly:
+
+* a plan between *any* two enumerated legal compositions validates —
+  live adaptation can reach every buildable service from every other;
+* a plan whose target breaks a Figure-4 edge is rejected with a
+  :class:`~repro.errors.DependencyError` whose message cites the
+  violated edge's prerequisite protocol, whatever composition it was
+  drawn against.
+
+Pure-data properties: no simulation, full hypothesis strength.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adapt import AdaptationPlan, validate_plan
+from repro.core.config import validate
+from repro.core.enumerate import enumerate_services
+from repro.errors import ConfigurationError, DependencyError, ReproError
+
+RESULT = enumerate_services()
+LEGAL = RESULT.strict_specs
+
+#: Figure-4-breaking mutations: (changes, prerequisite the error must
+#: cite).  Each produces a spec the strict graph rejects, whatever the
+#: starting point.
+ILLEGAL_MUTATIONS = [
+    ({"unique": True, "reliable": False, "ordering": "none"},
+     "Reliable_Communication"),
+    ({"ordering": "fifo", "reliable": False, "unique": False},
+     "Reliable_Communication"),
+    ({"ordering": "total", "unique": False},
+     "Unique_Execution"),
+    ({"ordering": "total", "unique": True, "reliable": True,
+      "bounded": 1.0},
+     "Bounded_Termination"),
+    ({"orphans": "avoid", "reliable": False, "unique": False,
+      "ordering": "none"},
+     "Reliable_Communication"),
+]
+
+specs = st.sampled_from(LEGAL)
+
+
+def test_enumeration_matches_the_paper():
+    assert RESULT.cluster_choices == 11
+    assert RESULT.paper_count == 198
+    assert RESULT.strict_count == len(LEGAL) == 186
+
+
+@settings(max_examples=200, deadline=None)
+@given(current=specs, target=specs)
+def test_any_legal_composition_reaches_any_other(current, target):
+    """validate_plan accepts every pair drawn from the enumerated legal
+    space — in both roles, with an accurate from_spec pin."""
+    validate_plan(AdaptationPlan(service="s", to_spec=target),
+                  current=current)
+    validate_plan(AdaptationPlan(service="s", to_spec=target,
+                                 from_spec=current),
+                  current=current)
+
+
+@settings(max_examples=200, deadline=None)
+@given(current=specs, mutation=st.sampled_from(ILLEGAL_MUTATIONS))
+def test_illegal_targets_rejected_citing_the_edge(current, mutation):
+    """A target outside the strict space is rejected with the violated
+    Figure-4 edge's prerequisite named in the error."""
+    changes, prerequisite = mutation
+    target = current.with_(**changes)
+    # The mutation really is outside the enumerated space.
+    with pytest.raises(ConfigurationError):
+        validate(target)
+    assert target not in LEGAL
+    with pytest.raises(DependencyError) as err:
+        validate_plan(AdaptationPlan(service="s", to_spec=target),
+                      current=current)
+    assert prerequisite in str(err.value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(current=specs, drawn_against=specs)
+def test_stale_pins_always_rejected(current, drawn_against):
+    """A plan pinned to any composition other than the running one is
+    stale, whatever the (legal) target."""
+    plan = AdaptationPlan(service="s", to_spec=current,
+                          from_spec=drawn_against)
+    if drawn_against == current:
+        validate_plan(plan, current=current)
+    else:
+        with pytest.raises(ConfigurationError, match="stale"):
+            validate_plan(plan, current=current)
+
+
+@settings(max_examples=100, deadline=None)
+@given(target=specs,
+       timeout=st.floats(min_value=-10.0, max_value=10.0))
+def test_nonpositive_drain_budgets_rejected(target, timeout):
+    plan = AdaptationPlan(service="s", to_spec=target,
+                          drain_timeout=timeout)
+    if timeout > 0:
+        validate_plan(plan, current=target)
+    else:
+        with pytest.raises(ReproError, match="drain_timeout"):
+            validate_plan(plan, current=target)
