@@ -7,10 +7,14 @@ Usage::
 Reads the committed ``BENCH_x17_hotpath.json`` (saved aside before the
 CI run overwrites it) and the freshly produced one, compares wall-clock
 ops/sec, and emits a GitHub Actions ``::warning::`` annotation when the
-fresh number regresses by more than 25%.  Always exits 0: CI runners
-vary wildly in speed, and the committed point may have been measured in
-full mode on a fast dev box while CI runs tiny mode on a shared vCPU —
-the comparison is a tripwire for catastrophic slowdowns, not a gate.
+fresh number regresses by more than 25%.  Regression deltas exit 0: CI
+runners vary wildly in speed, and the committed point may have been
+measured in full mode on a fast dev box while CI runs tiny mode on a
+shared vCPU — the delta is a tripwire for catastrophic slowdowns, not a
+gate.  A **missing or unreadable baseline**, however, is a hard error
+(``::error`` + exit 1): it means the committed trajectory point was
+deleted, renamed, or emptied, and every subsequent comparison would
+silently skip — the exact failure mode this script exists to prevent.
 
 Same-mode points are preferred for the reference (tiny vs tiny beats
 tiny vs full); the ``pre-refactor`` baseline is never used as the
@@ -24,11 +28,15 @@ import sys
 THRESHOLD = 0.75  # warn when fresh ops/sec drops below 75% of reference
 
 
-def _points(path):
+def _points(path, *, required=False):
     try:
         with open(path) as fh:
             return json.load(fh).get("points", [])
     except (OSError, ValueError) as exc:
+        if required:
+            print(f"::error title=bench_x17 baseline missing::"
+                  f"could not read committed baseline {path}: {exc}")
+            raise SystemExit(1)
         print(f"note: could not read {path}: {exc}")
         return []
 
@@ -45,16 +53,19 @@ def _current(points, mode=None):
 
 
 def main(committed_path, fresh_path):
+    committed_points = _points(committed_path, required=True)
+    reference = _current(committed_points)
+    if reference is None:
+        print(f"::error title=bench_x17 baseline missing::"
+              f"committed baseline {committed_path} holds no comparable "
+              f"point (only pre-refactor entries, or none at all)")
+        return 1
     fresh = _current(_points(fresh_path))
     if fresh is None:
         print("note: fresh run produced no comparable point; skipping")
         return 0
-    committed_points = _points(committed_path)
     reference = (_current(committed_points, mode=fresh.get("mode"))
-                 or _current(committed_points))
-    if reference is None:
-        print("note: no committed point to compare against; skipping")
-        return 0
+                 or reference)
     fresh_ops = fresh["ops_per_sec_wall"]
     ref_ops = reference["ops_per_sec_wall"]
     ratio = fresh_ops / ref_ops if ref_ops else 1.0

@@ -153,16 +153,20 @@ REPORT_CONFIGS = ("sharded-kv",)
 def cmd_report(args: argparse.Namespace) -> int:
     """Run a preset under the observatory and print the health report.
 
-    The ``sharded-kv`` preset deploys N ring-routed shards (two servers
+    The ``sharded-kv`` preset deploys N elastic shards (two servers
     each) under heartbeat membership with automatic rebinding, drives a
-    Zipfian keyed workload through the router, then crashes one server
-    mid-run so the report shows the whole causal chain: the suspicion
-    flip, the rebind, the latency excursion in the SLO windows, and the
-    flight-recorder dump trail.
+    Zipfian keyed workload through the placement plane, then crashes
+    one server mid-run so the report shows the whole causal chain: the
+    suspicion flip, the rebind, the latency excursion in the SLO
+    windows, and the flight-recorder dump trail.  A final act grows the
+    ring by one shard and kills the migration coordinator at catch-up,
+    so the report's *placement takeover chain* section shows the
+    replicated-view failover end to end: the persisted proposal, the
+    successor's takeover, and the committed epoch.
     """
-    from repro.apps.sharding import build_sharded_kv
     from repro.core.deployment import Deployment
     from repro.obs.observatory import ObservatoryConfig
+    from repro.placement import build_elastic_kv
 
     config = ObservatoryConfig(
         slo_thresholds={95: args.slo_p95, 99: args.slo_p99},
@@ -178,12 +182,14 @@ def cmd_report(args: argparse.Namespace) -> int:
     # acceptance=2 with two servers: a call needs both replies, so after
     # the injected crash the calls to the victim's shard stall against
     # the dead replica until the suspicion flip rebinds the group — a
-    # visible latency excursion for the SLO windows to catch.
+    # visible latency excursion for the SLO windows to catch.  Two
+    # client pids = two coordinator candidates, so the final act's
+    # coordinator kill has a successor to elect.
     spec = ServiceSpec(reliable=True, unique=True, execution="serial",
                        bounded=2.0, acceptance=2)
-    kv = build_sharded_kv(deployment, args.shards, spec=spec,
-                          servers_per_shard=2)
-    deployment.auto_rebind()
+    plane, kv = build_elastic_kv(deployment, args.shards, spec=spec,
+                                 servers_per_shard=2, clients=2)
+    deployment.auto_rebind(plane=plane)
 
     rng = random.Random(args.seed)
     keys = [f"key-{i:04d}" for i in range(args.keys)]
@@ -202,6 +208,29 @@ def cmd_report(args: argparse.Namespace) -> int:
     # dump) until suspicion flips and the rebind takes hold.
     deployment.run_scenario(burst(args.ops - args.ops // 2),
                             extra_time=0.2)
+
+    # Final act: grow the ring and kill the coordinator at catch-up.
+    # The successor resumes from the replicated plan; the report's
+    # takeover-chain section narrates propose -> takeover -> commit.
+    coordinator = plane.coordinator
+    fired: List[str] = []
+
+    async def kill_coordinator() -> None:
+        deployment.crash(coordinator)
+
+    def at_phase(phase: str) -> None:
+        if phase == "catchup" and not fired:
+            fired.append(phase)
+            deployment.runtime.spawn(kill_coordinator(),
+                                     name="coordinator-killer",
+                                     daemon=True)
+
+    plane.phase_hook = at_phase
+
+    async def grow() -> None:
+        await plane.add_shard()
+
+    deployment.run_scenario(grow(), extra_time=0.3)
     deployment.settle(0.5)
     deployment.publish_runtime_stats()
     print(deployment.render_report())

@@ -73,7 +73,17 @@ class AdaptationDriver:
         # service -> (decision kind, armed hysteresis timer).
         self._pending: Dict[str, Tuple[str, Any]] = {}
         self._closed = False
-        deployment.watch_membership(self._on_change)
+        #: View-delta subscription when the placement plane is live
+        #: (one stream carries membership and epoch events); raw
+        #: membership callbacks otherwise.
+        self._views = getattr(deployment, "views", None)
+        if self._views is not None:
+            self._views.watch(self._on_delta)
+        else:
+            deployment.watch_membership(self._on_change)
+        register = getattr(deployment, "register_driver", None)
+        if register is not None:
+            register(self)
 
     def close(self) -> None:
         """Detach from the membership stream and cancel pending timers.
@@ -85,14 +95,25 @@ class AdaptationDriver:
         if self._closed:
             return
         self._closed = True
-        self.deployment.unwatch_membership(self._on_change)
+        if self._views is not None:
+            self._views.unwatch(self._on_delta)
+        else:
+            self.deployment.unwatch_membership(self._on_change)
         for _, timer in self._pending.values():
             timer.cancel()
         self._pending.clear()
+        unregister = getattr(self.deployment, "unregister_driver", None)
+        if unregister is not None:
+            unregister(self)
 
     # ------------------------------------------------------------------
     # Membership stream
     # ------------------------------------------------------------------
+
+    def _on_delta(self, delta: Any) -> None:
+        if self._closed or delta.kind != "member":
+            return
+        self._on_change(delta.pid, delta.alive)
 
     def _on_change(self, pid: int, alive: bool) -> None:
         if self._closed:

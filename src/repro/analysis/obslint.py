@@ -58,6 +58,10 @@ METRIC_NAMESPACES: Dict[str, str] = {
                 "executions, reply cache)",
     "placement.load.": "observatory: per-key load accounting (lookup "
                        "volume and top-K hot keys per shard)",
+    "placement.view.": "replicated placement metadata plane (epoch "
+                       "gauge, commits, rollbacks, proposals, recovery "
+                       "joins, stale-epoch bounces, coordinator "
+                       "takeovers)",
     "placement.": "elastic placement plane (ring, migrations, rebinds, "
                   "drain-averting revives)",
     "repl.": "replication plane: replica groups (promotions, demotions, "

@@ -262,10 +262,23 @@ class Deployment:
         #: path's adaptation check to a single is-None test.
         self.adaptation: Any = None
 
+        #: The replicated placement-metadata plane (:class:`~repro.
+        #: placement.view.ViewManager`), installed by its constructor
+        #: when a placement plane is built; None keeps the call path's
+        #: epoch check to a single is-None test.
+        self.views: Any = None
+
         # Reconfiguration drivers installed by auto_rebind/auto_adapt;
         # shutdown() detaches them from the membership stream.
         self._rebind_driver: Any = None
         self._adapt_driver: Any = None
+
+        #: Every installed reconfiguration driver (rebind, adaptation,
+        #: replication, view manager...), in install order.  Drivers
+        #: self-register via :meth:`register_driver`; :meth:`shutdown`
+        #: detaches them all through this one registry, newest first,
+        #: instead of each subsystem hand-rolling its own teardown hook.
+        self.drivers: List[Any] = []
 
         #: The measurement plane and its two call-path hooks (all None
         #: when disabled, keeping the hot paths on a single is-None
@@ -424,7 +437,8 @@ class Deployment:
 
     async def call(self, client_pid: int, service: str, op: str,
                    args: Any, *,
-                   retry_of: Optional[int] = None) -> CallResult:
+                   retry_of: Optional[int] = None,
+                   view_epoch: Optional[int] = None) -> CallResult:
         """Issue one call to ``service`` from ``client_pid``.
 
         The service name is resolved to its current group through the
@@ -449,7 +463,19 @@ class Deployment:
         the elected primary (parking across promotions), and a passive
         write's state change is transferred to the backups before the
         result is returned.
+
+        ``view_epoch`` is the placement-view epoch the caller routed
+        under (stamped by the routers).  A stale epoch bounces with
+        ``Status.REDIRECT`` *before* any message is built — the caller
+        re-routes against the current view instead of dispatching to a
+        shard that may no longer own the key.
         """
+        if view_epoch is not None:
+            views = self.views
+            if views is not None and view_epoch != views.epoch:
+                self.metrics.counter(
+                    "placement.view.stale_bounces").inc()
+                return views.redirect_result()
         svc = self.service(service)
         instruments = self._call_instruments.get(service)
         if instruments is None:
@@ -506,10 +532,11 @@ class Deployment:
         if self._slo is not None:
             self._slo.observe(service, latency)
         if cache is not None and result.ok:
-            cache.put(client_pid, result.id, result)
+            epoch = self.views.epoch if self.views is not None else None
+            cache.put(client_pid, result.id, result, epoch=epoch)
             if retry_of is not None:
                 # Future retries naming the original attempt hit too.
-                cache.put(client_pid, retry_of, result)
+                cache.put(client_pid, retry_of, result, epoch=epoch)
         return result
 
     def watch_membership(self,
@@ -540,6 +567,25 @@ class Deployment:
             self._membership.unwatch(watcher)
         else:
             self.fabric.unwatch_membership(watcher)
+
+    def register_driver(self, driver: Any) -> None:
+        """Enroll a reconfiguration driver for registry-driven teardown.
+
+        Idempotent: re-registering the same object is a no-op, so a
+        driver may register from its constructor without caring whether
+        an installer helper already did.
+        """
+        if driver not in self.drivers:
+            self.drivers.append(driver)
+
+    def unregister_driver(self, driver: Any) -> None:
+        """Drop a driver from the registry (no-op when absent); called
+        by the drivers' own ``close()`` so an early manual close does
+        not leave a dangling entry for :meth:`shutdown`."""
+        try:
+            self.drivers.remove(driver)
+        except ValueError:
+            pass
 
     def auto_rebind(self, *, plane: Any = None, regrow: bool = True):
         """Drive :meth:`rebind` from the membership service.
@@ -740,12 +786,11 @@ class Deployment:
         naturally.  Also releases the observatory's process-global
         marshaller hook.
         """
-        if self._adapt_driver is not None:
-            self._adapt_driver.close()
-        if self._rebind_driver is not None:
-            self._rebind_driver.close()
-        if self.replication is not None:
-            self.replication.close()
+        for driver in reversed(list(self.drivers)):
+            driver.close()
+        self.drivers.clear()
+        self._adapt_driver = None
+        self._rebind_driver = None
         if self.observatory is not None:
             self.observatory.close()
         self.runtime.kernel.shutdown()

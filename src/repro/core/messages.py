@@ -62,11 +62,19 @@ class UserOp(enum.Enum):
 
 
 class Status(enum.Enum):
-    """Return status of a call (the paper's ``Status_type``)."""
+    """Return status of a call (the paper's ``Status_type``).
+
+    ``REDIRECT`` extends the paper's set for the placement plane: a call
+    stamped with a stale view epoch is bounced back (with the current
+    epoch in its args) instead of being dispatched against a routing
+    table that no longer holds.  It never travels on the wire — the
+    bounce happens deployment-side, before any message is built.
+    """
 
     OK = "OK"
     WAITING = "WAITING"
     TIMEOUT = "TIMEOUT"
+    REDIRECT = "REDIRECT"
 
 
 #: Server-side tables key calls by (client pid, client incarnation, call id).

@@ -37,6 +37,10 @@ class ReplyCache:
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple[int, int], CallResult]" = \
             OrderedDict()
+        #: Placement-view epoch each reply completed under (tracked only
+        #: for entries stored with ``epoch=``): a retry answered from the
+        #: cache can be audited against the epoch the original ran in.
+        self._epochs: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -50,17 +54,26 @@ class ReplyCache:
         self.hits += 1
         return entry
 
+    def epoch_of(self, client_pid: int, call_id: int) -> Optional[int]:
+        """The view epoch a cached reply completed under, if recorded."""
+        return self._epochs.get((client_pid, call_id))
+
     def put(self, client_pid: int, call_id: int,
-            result: CallResult) -> None:
+            result: CallResult, *, epoch: Optional[int] = None) -> None:
         """Remember a completed reply (successful results only make
-        sense here; the caller filters)."""
+        sense here; the caller filters).  ``epoch`` optionally records
+        the placement-view epoch the call completed under."""
         if self.capacity == 0:
             return
         key = (client_pid, call_id)
         self._entries[key] = result
         self._entries.move_to_end(key)
+        if epoch is not None:
+            self._epochs[key] = epoch
+            self._epochs.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._epochs.pop(evicted, None)
 
     def __len__(self) -> int:
         return len(self._entries)

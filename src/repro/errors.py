@@ -94,6 +94,11 @@ class MigrationError(PlacementError):
     """A live key migration could not complete safely."""
 
 
+class ViewError(PlacementError):
+    """The replicated placement-view plane was misused (malformed view
+    blob, backwards epoch commit, no live metadata replica...)."""
+
+
 class AdaptationError(ReproError):
     """A live micro-protocol reconfiguration could not complete safely
     (drain timeout, concurrent adaptation of the same service, ...).

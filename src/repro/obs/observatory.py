@@ -162,6 +162,18 @@ class Observatory:
         section("kernel profile", self.profiler.report_lines())
         section("per-shard hot keys", self.load.report_lines())
         section("SLO windows", self.slo.report_lines())
+        chain = [entry for entry in self.flight.entries()
+                 if entry[2] in ("view-propose", "coord-takeover",
+                                 "view-commit", "view-rollback",
+                                 "recover-failed")]
+        if chain:
+            body = []
+            for seq, time, kind, fields in chain:
+                rendered = " ".join(f"{key}={fields[key]!r}"
+                                    for key in sorted(fields))
+                body.append(f"[{seq:>5}] t={time:9.4f}s {kind:<14} "
+                            f"{rendered}".rstrip())
+            section("placement takeover chain", body)
         tape = self.flight.format_dump()
         body = tape.split("\n") if tape else ["(empty)"]
         retained = len(self.flight)

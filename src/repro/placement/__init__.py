@@ -14,7 +14,13 @@ workload.  Three cooperating pieces:
   stable-store salvage when a source shard is dead;
 * :class:`~repro.placement.driver.RebindDriver` — membership-driven
   reconfiguration: suspicion shrinks a service's bound group, recovery
-  regrows it, and a fully dead shard is drained automatically.
+  regrows it, and a fully dead shard is drained automatically;
+* :class:`~repro.placement.view.PlacementView` /
+  :class:`~repro.placement.view.ViewManager` — the replicated metadata
+  plane: immutable epoch-versioned views of key placement, join-merged
+  at recovery and persisted per-epoch on every coordinator candidate,
+  so a coordinator crash mid-migration fails over instead of stranding
+  the deployment.
 
 :func:`~repro.placement.plane.build_elastic_kv` assembles a working
 elastic sharded KV in one call.
@@ -24,6 +30,7 @@ from repro.placement.driver import RebindDriver
 from repro.placement.migration import KeyMigration, MigrationState, ShardMove
 from repro.placement.plane import ElasticKV, PlacementPlane, build_elastic_kv
 from repro.placement.ring import HashRing, plan_moves
+from repro.placement.view import PlacementView, ViewDelta, ViewManager
 
 __all__ = [
     "HashRing",
@@ -35,4 +42,7 @@ __all__ = [
     "ElasticKV",
     "build_elastic_kv",
     "RebindDriver",
+    "PlacementView",
+    "ViewDelta",
+    "ViewManager",
 ]

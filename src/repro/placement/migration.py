@@ -85,7 +85,9 @@ class KeyMigration:
                  dead: Optional[Set[str]] = None,
                  stable_prefix: str = "",
                  target: Any = None,
-                 sources: Optional[List[str]] = None):
+                 sources: Optional[List[str]] = None,
+                 views: Any = None,
+                 phase_hook: Any = None):
         self.deployment = deployment
         self.coordinator = coordinator
         self.moves = moves
@@ -110,6 +112,22 @@ class KeyMigration:
         #: one causal breadcrumb so a post-mortem dump shows where a
         #: migration was when something else went wrong.
         self._flight = getattr(deployment, "flight", None)
+        #: The deployment's :class:`~repro.placement.view.ViewManager`,
+        #: or None.  With views, per-move snapshots are persisted to
+        #: *every* metadata replica's stable store instead of only the
+        #: coordinator node's — a successor coordinator can then resume
+        #: catch-up with the original warm snapshots.
+        self.views = views
+        #: Optional callable fired at phase boundaries (``"snapshot"``,
+        #: ``"transfer"``) inside the runner's own context; the plane
+        #: fires ``"catchup"``/``"cutover"`` itself, after persisting
+        #: the plan's phase marker.
+        self.phase_hook = phase_hook
+
+    def _hook(self, phase: str) -> None:
+        hook = self.phase_hook
+        if hook is not None:
+            hook(phase)
 
     # ------------------------------------------------------------------
     # Phases (driven by the placement plane)
@@ -124,12 +142,17 @@ class KeyMigration:
         if self._flight is not None:
             self._flight.note("migration", phase="warm_transfer",
                               epoch=self.epoch, moves=len(self.moves))
+        self._hook("snapshot")
+        transferring = False
         for move in self.moves:
             move.state = MigrationState.SNAPSHOT
             move.snapshot = await self._read_source(move)
             self._persist_snapshot(move)
             move.state = MigrationState.TRANSFER
             if move.snapshot:
+                if not transferring:
+                    transferring = True
+                    self._hook("transfer")
                 await self._ingest(move.dest, move.snapshot)
 
     async def catch_up(self) -> None:
@@ -281,14 +304,57 @@ class KeyMigration:
                 f"{move.source}->{move.dest}")
 
     def _persist_snapshot(self, move: ShardMove) -> None:
+        if self.views is not None:
+            self.views.put_cell(self._snapshot_cell(move), move.snapshot)
+            return
         node = self.deployment.nodes.get(self.coordinator)
         if node is not None:
             node.stable.put(self._snapshot_cell(move), move.snapshot)
 
     def _free_snapshot(self, move: ShardMove) -> None:
+        if self.views is not None:
+            self.views.del_cell(self._snapshot_cell(move))
+            return
         node = self.deployment.nodes.get(self.coordinator)
         if node is not None:
             node.stable.delete(self._snapshot_cell(move))
+
+    def load_snapshots(self) -> None:
+        """Reload every move's persisted warm snapshot (successor-side).
+
+        A move whose snapshot cell is missing (the crash landed before
+        it was written) restarts from an empty snapshot, which is safe:
+        catch-up treats every surviving source key as an update then.
+        """
+        for move in self.moves:
+            if self.views is not None:
+                snap = self.views.get_cell(self._snapshot_cell(move))
+            else:
+                node = self.deployment.nodes.get(self.coordinator)
+                snap = node.stable.get(self._snapshot_cell(move)) \
+                    if node is not None else None
+            move.snapshot = dict(snap) if snap else {}
+
+    async def rollback(self) -> None:
+        """Undo the warm phase: scrub the destinations' ingested copies.
+
+        Only valid before catch-up completes — the sources were never
+        mutated, so dropping the planned key sets from the destinations
+        restores the pre-migration state exactly.  A destination that
+        cannot be reached is recorded dead (its volatile copies die with
+        it; a rejoin wipes its stable leftovers).
+        """
+        if self._flight is not None:
+            self._flight.note("migration", phase="rollback",
+                              epoch=self.epoch, moves=len(self.moves))
+        for move in self.moves:
+            if move.keys and move.dest not in self.dead:
+                result = await self._call(move.dest, "drop_keys",
+                                          {"keys": list(move.keys)})
+                if not result.ok:
+                    self.dead.add(move.dest)
+            self._free_snapshot(move)
+            move.state = MigrationState.PLANNED
 
     @property
     def moved_total(self) -> int:

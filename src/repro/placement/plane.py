@@ -3,12 +3,15 @@ system reshapes itself.
 
 A :class:`PlacementPlane` sits between clients and a
 :class:`~repro.core.deployment.Deployment`'s named shard services.  It
-owns the :class:`~repro.placement.ring.HashRing` that maps keys to shard
-names, and every reshape — :meth:`add_shard`, :meth:`remove_shard`, or a
-:meth:`drain_dead_shard` triggered by the membership-driven
-:class:`~repro.placement.driver.RebindDriver` — runs the live
-key-migration protocol of :mod:`repro.placement.migration` so that no
-key is lost, duplicated, or served stale across the resize.
+routes against the :class:`~repro.placement.ring.HashRing` described by
+the deployment's current :class:`~repro.placement.view.PlacementView`
+(an immutable, epoch-versioned metadata object replicated across the
+coordinator candidates' stable stores), and every reshape —
+:meth:`add_shard`, :meth:`remove_shard`, or a :meth:`drain_dead_shard`
+triggered by the membership-driven :class:`~repro.placement.driver.
+RebindDriver` — runs the live key-migration protocol of
+:mod:`repro.placement.migration` so that no key is lost, duplicated, or
+served stale across the resize.
 
 Calls to keys inside a migrating range are **parked** during the
 catch-up/cutover window (an event gate keyed by *ownership change* —
@@ -21,6 +24,29 @@ catch-up snapshot is taken, the plane waits for in-flight calls that
 already passed the gate to drain, so an acknowledged write can never
 slip in between the re-snapshot and the cutover drop.
 
+**Coordinator failover.**  Migration phases run as a task *owned by the
+coordinator node*, so a coordinator crash cancels the run exactly where
+a real site failure would abandon it.  The plan and per-move snapshots
+are replicated (:class:`~repro.placement.view.ViewManager`), so the
+supervising driver elects a successor — the largest live candidate pid,
+the same rule replica groups use to elect a primary — and resumes the
+migration from its last persisted phase, or rolls it back when nothing
+irreversible has happened yet:
+
+* crash during **snapshot/transfer** (plan phase ``warm``): roll back —
+  the destinations only hold warm-ingested copies, so they are scrubbed
+  and the old view stands (a dead-shard *drain* instead resumes: its
+  source cannot serve the keys anyway);
+* crash during **catch-up**: resume — the sources were never mutated by
+  catch-up, so re-running the full re-list against the persisted warm
+  snapshots is idempotent;
+* crash during **cutover**: resume *cutover only*, from the persisted
+  manifest of final key sets — re-running catch-up here would misread
+  already-dropped source keys as deletions and lose data.
+
+Acknowledged writes always live on exactly one side of the cut, so a
+takeover at any phase loses no acknowledged call.
+
 :class:`ElasticKV` is the client-side view (the elastic counterpart of
 :class:`~repro.apps.sharding.ShardedKV`) and :func:`build_elastic_kv`
 wires N stable-backed shard services plus a ready plane.
@@ -28,14 +54,25 @@ wires N stable-backed shard services plus a ready plane.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 from repro.apps.kvstore import StableKVStore
 from repro.core.config import ServiceSpec
-from repro.core.messages import CallResult
-from repro.errors import PlacementError
+from repro.core.messages import CallResult, Status
+from repro.errors import PlacementError, TaskCancelled
 from repro.placement.migration import KeyMigration, ShardMove
 from repro.placement.ring import HashRing, plan_moves
+from repro.placement.view import PlacementView, ViewManager
 
 __all__ = ["PlacementPlane", "ElasticKV", "build_elastic_kv"]
 
@@ -48,12 +85,18 @@ class PlacementPlane:
                  drain_grace: float = 0.0):
         self.deployment = deployment
         self.ring = HashRing(vnodes=vnodes, seed=seed)
-        #: Bumped once per completed migration; routing-table version.
-        self.epoch = 0
+        #: The replicated metadata plane; the view's epoch is the
+        #: routing-table version every stamped call carries.
+        self.views = ViewManager.ensure(deployment)
         #: Client pid issuing the migration RPCs (must participate in
         #: every shard service); defaults to the first adopted shard's
-        #: first client.
+        #: first client.  On a coordinator crash the largest live pid in
+        #: :attr:`coordinators` takes over.
         self.coordinator = coordinator
+        #: Every pid eligible to coordinate (and to hold a metadata
+        #: replica); filled from the shard services' client sets.
+        self.coordinators: List[int] = \
+            [] if coordinator is None else [coordinator]
         #: Extra virtual settling time between parking and the catch-up
         #: snapshot.  In-flight calls that passed the park gate are
         #: tracked and drained explicitly, so correctness does not
@@ -63,9 +106,17 @@ class PlacementPlane:
         observatory = getattr(deployment, "observatory", None)
         #: The observatory's hot-key tracker, or None (attach-once).
         self._load = observatory.load if observatory is not None else None
+        self._flight = getattr(deployment, "flight", None)
         #: Shard services known to be unreachable (RPC replaced by
         #: stable-store salvage).
         self.dead: Set[str] = set()
+        #: Fault-injection / instrumentation hook: called synchronously
+        #: at the start of each migration phase (``"snapshot"``,
+        #: ``"transfer"``, ``"catchup"``, ``"cutover"``) in the
+        #: coordinator-owned runner's context.  To inject a coordinator
+        #: crash at a phase, spawn a killer task from the hook — a task
+        #: cannot cancel itself.
+        self.phase_hook: Optional[Callable[[str], None]] = None
         #: Predicate over key strings: True while calls to that key must
         #: park (None when no migration is in its parked window).
         self._park_pred: Any = None
@@ -75,6 +126,10 @@ class PlacementPlane:
         self._inflight: Dict[str, int] = {}
         self._drain_waiter: Any = None
         self._mig_lock = deployment.runtime.lock()
+        #: True exactly while a phase runner (initial or recovery) is
+        #: executing; lets :meth:`recover` distinguish a stranded plan
+        #: from one an alive runner is still working through.
+        self._runner_active = False
         #: How new shards are built when :meth:`add_shard` is called
         #: without explicit arguments (filled by :func:`build_elastic_kv`).
         self.defaults: Dict[str, Any] = {}
@@ -91,11 +146,20 @@ class PlacementPlane:
         self.ring.add(name)
         if self.coordinator is None:
             self.coordinator = service.client_pids[0]
+        for pid in service.client_pids:
+            if pid not in self.coordinators:
+                self.coordinators.append(pid)
+        self._sync_view()
         self._publish_gauges()
 
     @property
     def shards(self) -> List[str]:
         return self.ring.nodes
+
+    @property
+    def epoch(self) -> int:
+        """The current view epoch (bumped once per committed migration)."""
+        return self.views.epoch
 
     # ------------------------------------------------------------------
     # The routed (and parkable) call path
@@ -107,29 +171,38 @@ class PlacementPlane:
 
         If ``key`` is inside a range that is being cut over right now,
         the call parks until the migration completes, then routes against
-        the new ring — it can never observe a half-moved key.
+        the new ring — it can never observe a half-moved key.  The call
+        is stamped with the view epoch it routed under; a bounce
+        (``Status.REDIRECT``, impossible in this path unless the epoch
+        moved between routing and dispatch) re-routes transparently.
         """
         key_str = str(key)
         self.metrics.counter("placement.router.lookups").inc()
-        while self._gate is not None and self._park_pred(key_str):
-            self.metrics.counter("placement.parked_calls").inc()
-            await self._gate.wait()
-        service = self.ring.route(key_str)
-        self.metrics.counter(
-            f"placement.router.keys_routed.{service}").inc()
-        if self._load is not None:
-            self._load.note(service, key_str)
-        self._inflight[key_str] = self._inflight.get(key_str, 0) + 1
-        try:
-            return await self.deployment.call(client_pid, service, op,
-                                              args)
-        finally:
-            remaining = self._inflight[key_str] - 1
-            if remaining:
-                self._inflight[key_str] = remaining
-            else:
-                del self._inflight[key_str]
-            self._notify_drained()
+        views = self.views
+        while True:
+            while self._gate is not None and self._park_pred(key_str):
+                self.metrics.counter("placement.parked_calls").inc()
+                await self._gate.wait()
+            epoch = views.epoch
+            service = self.ring.route(key_str)
+            self.metrics.counter(
+                f"placement.router.keys_routed.{service}").inc()
+            if self._load is not None:
+                self._load.note(service, key_str)
+            self._inflight[key_str] = self._inflight.get(key_str, 0) + 1
+            try:
+                result = await self.deployment.call(
+                    client_pid, service, op, args, view_epoch=epoch)
+            finally:
+                remaining = self._inflight[key_str] - 1
+                if remaining:
+                    self._inflight[key_str] = remaining
+                else:
+                    del self._inflight[key_str]
+                self._notify_drained()
+            if result.status is Status.REDIRECT:
+                continue
+            return result
 
     # ------------------------------------------------------------------
     # Reshaping
@@ -151,6 +224,10 @@ class PlacementPlane:
         composition, and registers with the deployment's
         :class:`~repro.replication.manager.ReplicationManager` before any
         key moves in — migration then transfers ranges group-to-group.
+
+        If the coordinator crashes mid-migration, a successor completes
+        the resize (or rolls it back during the warm phase, in which
+        case the service stays deployed but the ring is unchanged).
         """
         defaults = self.defaults
         rspec = defaults.get("replication")
@@ -164,6 +241,8 @@ class PlacementPlane:
             raise PlacementError(f"shard {name!r} is already on the ring")
         deployment = self.deployment
         if name in deployment.services:
+            if self.coordinators:
+                self._ensure_coordinator(reason=f"add:{name}")
             await self._wipe(name)
             self.dead.discard(name)
             service = deployment.services[name]
@@ -247,6 +326,130 @@ class PlacementPlane:
                             park_early=True)
 
     # ------------------------------------------------------------------
+    # Coordinator election and failover
+    # ------------------------------------------------------------------
+
+    def _elect(self) -> Optional[int]:
+        """The largest live, unsuspected candidate pid (the replica
+        groups' election rule), or None."""
+        deployment = self.deployment
+        suspected = self.views.suspected
+        live = [pid for pid in self.coordinators
+                if pid in deployment.nodes and deployment.nodes[pid].up
+                and pid not in suspected]
+        return max(live, default=None)
+
+    def _ensure_coordinator(self, *, reason: str = "") -> None:
+        """Re-elect before starting work if the coordinator is down."""
+        deployment = self.deployment
+        node = deployment.nodes.get(self.coordinator) \
+            if self.coordinator is not None else None
+        if (node is not None and node.up
+                and self.coordinator not in self.views.suspected):
+            return
+        successor = self._elect()
+        if successor is None:
+            raise PlacementError(
+                f"no live coordinator candidate "
+                f"(candidates: {self.coordinators})")
+        previous, self.coordinator = self.coordinator, successor
+        self.metrics.counter("placement.view.takeovers").inc()
+        if self._flight is not None:
+            self._flight.note("coord-takeover", previous=previous,
+                              successor=successor, phase=None,
+                              reason=reason or "pre-migration")
+
+    def on_coordinator_suspected(self, pid: int) -> None:
+        """Membership hook (wired by the RebindDriver): the coordinator
+        is suspected.  If a persisted plan is stranded — the migration's
+        supervising caller died with the coordinator — a recovery task
+        picks it up; a live supervisor observes the cancellation itself
+        and needs no help."""
+        if pid != self.coordinator:
+            return
+        self.deployment.runtime.spawn(
+            self._recover_if_stranded(),
+            name="placement-recover", daemon=True)
+
+    async def _recover_if_stranded(self) -> None:
+        runtime = self.deployment.runtime
+        # Let in-flight cancellations unwind: the runner's own teardown
+        # (and a live supervisor's failover) runs first.
+        while self._runner_active:
+            await runtime.sleep(0.0005)
+        try:
+            await self.recover()
+        except PlacementError:
+            if self._flight is not None:
+                self._flight.note("recover-failed",
+                                  coordinator=self.coordinator)
+
+    async def recover(self) -> bool:
+        """Resume (or roll back) a stranded migration from the
+        replicated plan.  Returns True when there was one to recover.
+
+        Safe to call at any time: a migration whose supervisor is alive
+        holds the migration lock until it completes, and an orphaned
+        runner (supervisor died, coordinator didn't) is waited out — by
+        the time the plan is inspected, its presence really means the
+        migration has no one driving it.
+        """
+        runtime = self.deployment.runtime
+        async with self._mig_lock:
+            while self._runner_active:
+                await runtime.sleep(0.0005)
+            if self.views.load_plan() is None:
+                return False
+            started = runtime.now()
+            outcome: Dict[str, Any] = {}
+            task = self._failover("recover", outcome)
+            if task is None:
+                return False
+            await self._supervise(task, "recover", outcome)
+            self.metrics.counter("placement.migration.runs").inc()
+            self.metrics.histogram(
+                "placement.migration.duration").observe(
+                    runtime.now() - started)
+            self._publish_gauges()
+            return True
+
+    def _failover(self, reason: str,
+                  outcome: Dict[str, Any]) -> Optional[Any]:
+        """Elect a successor and hand it the persisted plan.  Returns
+        the spawned recovery runner, or None when there is nothing to
+        recover."""
+        views = self.views
+        previous = self.coordinator
+        successor = self._elect()
+        plan = views.load_plan()
+        phase = plan.get("phase") if plan is not None else None
+        if successor is None:
+            # No live candidate can even issue the rollback RPCs:
+            # release the parked calls against the old ring and surface
+            # the stranding.  The plan stays persisted — a later
+            # :meth:`recover` can still finish the job.
+            self._release()
+            raise PlacementError(
+                f"coordinator {previous} is down mid-migration "
+                f"({reason!r}, phase {phase!r}) and no successor "
+                f"candidate is live")
+        if successor != previous:
+            self.coordinator = successor
+            self.metrics.counter("placement.view.takeovers").inc()
+            if self._flight is not None:
+                self._flight.note("coord-takeover", previous=previous,
+                                  successor=successor, phase=phase,
+                                  reason=reason)
+        if plan is None:
+            # The crash landed before the proposal was persisted (or
+            # after the commit cleared it): the old view stands.
+            self._release()
+            return None
+        node = self.deployment.nodes[successor]
+        return node.spawn(self._recover_phases(plan, reason, outcome),
+                          name=f"placement-recover-{reason}")
+
+    # ------------------------------------------------------------------
     # The migration driver
     # ------------------------------------------------------------------
 
@@ -260,6 +463,7 @@ class PlacementPlane:
             target = reshape()
             if target is None:
                 return None
+            self._ensure_coordinator(reason=reason)
             started = runtime.now()
             obs = self.deployment.obs
             span = None
@@ -268,9 +472,11 @@ class PlacementPlane:
                     "placement.migrate", node=self.coordinator,
                     attrs={"reason": reason, "epoch": self.epoch})
                 obs.push_ctx(span.ctx)
+            outcome: Dict[str, Any] = {}
             migration = None
             try:
-                migration = await self._run_phases(target, park_early)
+                migration = await self._drive(target, park_early, reason,
+                                              outcome)
             finally:
                 if obs is not None:
                     obs.pop_ctx()
@@ -282,42 +488,245 @@ class PlacementPlane:
             self._publish_gauges()
             return migration
 
-    async def _run_phases(self, target: HashRing,
-                          park_early: bool) -> KeyMigration:
+    async def _drive(self, target: HashRing, park_early: bool,
+                     reason: str,
+                     outcome: Dict[str, Any]) -> Optional[KeyMigration]:
+        """Run the phases as a coordinator-owned task and supervise it:
+        a coordinator crash cancels the runner, and the supervisor fails
+        the migration over to an elected successor."""
+        node = self.deployment.nodes[self.coordinator]
+        task = node.spawn(
+            self._run_phases(target, park_early, reason, outcome),
+            name=f"placement-migrate-{reason}")
+        return await self._supervise(task, reason, outcome)
+
+    async def _supervise(self, task: Any, reason: str,
+                         outcome: Dict[str, Any]) -> Optional[KeyMigration]:
         runtime = self.deployment.runtime
-        keys_by_shard = {}
-        for name in self.ring.nodes:
-            keys_by_shard[name] = await self._shard_keys(name)
-        moves = [ShardMove(source, dest, keys) for (source, dest), keys
-                 in plan_moves(target, keys_by_shard).items()]
+        deployment = self.deployment
+        while True:
+            try:
+                await runtime.join(task)
+                return outcome.get("migration")
+            except TaskCancelled:
+                coord = deployment.nodes.get(self.coordinator)
+                if coord is not None and coord.up:
+                    # The *supervisor* was cancelled (its node crashed),
+                    # not the runner: let the cancellation unwind.  An
+                    # orphaned runner finishes on its own; an orphaned
+                    # plan is picked up by on_coordinator_suspected.
+                    raise
+                task = self._failover(reason, outcome)
+                if task is None:
+                    return outcome.get("migration")
+
+    async def _run_phases(self, target: HashRing, park_early: bool,
+                          reason: str, outcome: Dict[str, Any]) -> None:
+        runtime = self.deployment.runtime
+        views = self.views
+        self._runner_active = True
+        try:
+            keys_by_shard = {}
+            for name in self.ring.nodes:
+                keys_by_shard[name] = await self._shard_keys(name)
+            moves = [ShardMove(source, dest, keys) for (source, dest), keys
+                     in plan_moves(target, keys_by_shard).items()]
+            migration = KeyMigration(
+                self.deployment, self.coordinator, moves, epoch=self.epoch,
+                dead=self.dead,
+                stable_prefix=StableKVStore.STABLE_PREFIX,
+                target=target, sources=self.ring.nodes,
+                views=views, phase_hook=self._fire_hook)
+            outcome["migration"] = migration
+            views.propose(self._plan_blob(target, migration, park_early,
+                                          reason, phase="warm"),
+                          reason=reason)
+            # Park by ownership change, not by the enumerated plan: a key
+            # created during the migration still parks if its range moves.
+            old = self.ring
+
+            def moving(key: str) -> bool:
+                return old.route(key) != target.route(key)
+
+            try:
+                if park_early:
+                    self._park(moving)
+                    await self._drain_inflight()
+                await migration.warm_transfer()
+                if not park_early:
+                    self._park(moving)
+                    await self._drain_inflight()
+                if self.drain_grace > 0:
+                    await runtime.sleep(self.drain_grace)
+                views.update_plan(phase="catchup")
+                self._fire_hook("catchup")
+                await migration.catch_up()
+                views.update_plan(phase="cutover",
+                                  moves=self._moves_blob(migration),
+                                  dead=sorted(self.dead))
+                self._fire_hook("cutover")
+                await migration.cutover()
+            except TaskCancelled:
+                # Coordinator crash: leave the gate closed and the plan
+                # persisted — the supervisor (or a recovery task) fails
+                # over to a successor.
+                raise
+            except BaseException:
+                # A migration error (e.g. a destination rejecting its
+                # ingest) aborts the reshape: the old view stands.
+                views.rollback(reason=f"{reason}:error")
+                self._release()
+                raise
+            self._commit(target, migration, reason)
+        finally:
+            self._runner_active = False
+
+    async def _recover_phases(self, plan: Dict[str, Any], reason: str,
+                              outcome: Dict[str, Any]) -> None:
+        """Successor-side resumption: rebuild the migration from the
+        replicated plan and continue from its last persisted phase (or
+        roll it back)."""
+        views = self.views
+        spec = plan["target"]
+        target = HashRing(spec["shards"], vnodes=spec["vnodes"],
+                          seed=spec["seed"])
+        park_early = bool(plan.get("park_early"))
+        phase = plan.get("phase", "warm")
+        self.dead.update(plan.get("dead", ()))
+        moves = []
+        for blob in plan["moves"]:
+            move = ShardMove(blob["source"], blob["dest"],
+                             list(blob["keys"]))
+            move.moved = int(blob.get("moved", 0))
+            moves.append(move)
         migration = KeyMigration(
-            self.deployment, self.coordinator, moves, epoch=self.epoch,
-            dead=self.dead, stable_prefix=StableKVStore.STABLE_PREFIX,
-            target=target, sources=self.ring.nodes)
-        # Park by ownership change, not by the enumerated plan: a key
-        # created during the migration still parks if its range moves.
+            self.deployment, self.coordinator, moves,
+            epoch=int(plan["epoch"]), dead=self.dead,
+            stable_prefix=StableKVStore.STABLE_PREFIX,
+            target=target, sources=list(plan["sources"]),
+            views=views, phase_hook=self._fire_hook)
+        outcome["migration"] = migration
         old = self.ring
 
         def moving(key: str) -> bool:
             return old.route(key) != target.route(key)
 
-        if park_early:
-            self._park(moving)
-            await self._drain_inflight()
+        self._runner_active = True
         try:
-            await migration.warm_transfer()
-            if not park_early:
-                self._park(moving)
-                await self._drain_inflight()
-            if self.drain_grace > 0:
-                await runtime.sleep(self.drain_grace)
-            await migration.catch_up()
-            await migration.cutover()
-            self.ring = target
-            self.epoch += 1
+            try:
+                if phase == "warm" and not park_early:
+                    # Nothing irreversible has happened: the sources
+                    # were never mutated and the destinations hold only
+                    # warm-ingested copies.  Roll back.
+                    await migration.rollback()
+                    views.rollback(reason=f"{reason}:coordinator-crash")
+                    self._release()
+                    outcome["migration"] = None
+                    return
+                if phase == "warm":
+                    # A dead-shard drain resumes instead: its source
+                    # cannot serve the moving keys anyway.  Warm work is
+                    # idempotent (snapshot re-reads, ingest overwrites).
+                    if self._gate is None:
+                        self._park(moving)
+                    await self._drain_inflight()
+                    await migration.warm_transfer()
+                    views.update_plan(phase="catchup")
+                    self._fire_hook("catchup")
+                    await migration.catch_up()
+                    views.update_plan(phase="cutover",
+                                      moves=self._moves_blob(migration),
+                                      dead=sorted(self.dead))
+                    self._fire_hook("cutover")
+                    await migration.cutover()
+                elif phase == "catchup":
+                    # Catch-up never mutates the sources, so a full
+                    # re-run against the persisted warm snapshots is
+                    # idempotent.  The gate survived the crash (it lives
+                    # on the plane), so the quiet window still holds.
+                    migration.load_snapshots()
+                    if self._gate is None:
+                        self._park(moving)
+                    await self._drain_inflight()
+                    await migration.catch_up()
+                    views.update_plan(phase="cutover",
+                                      moves=self._moves_blob(migration),
+                                      dead=sorted(self.dead))
+                    self._fire_hook("cutover")
+                    await migration.cutover()
+                else:
+                    # Cutover: catch-up completed, so the persisted
+                    # manifest holds the final key sets.  Only the drops
+                    # may be partial; re-dropping is idempotent.
+                    # Re-running catch-up here would misread keys the
+                    # first cutover already dropped from a source as
+                    # deletions — and drop them from the destination.
+                    if self._gate is None:
+                        self._park(moving)
+                    await migration.cutover()
+            except TaskCancelled:
+                raise                   # next successor takes over
+            except BaseException:
+                views.rollback(reason=f"{reason}:error")
+                self._release()
+                raise
+            self._commit(target, migration, reason)
         finally:
-            self._release()
-        return migration
+            self._runner_active = False
+
+    def _commit(self, target: HashRing, migration: KeyMigration,
+                reason: str) -> None:
+        """Cut the metadata over: new ring, epoch+1, plan retired, gate
+        released.  Synchronous — no crash window between its steps."""
+        views = self.views
+        self.ring = target
+        views.commit(PlacementView.make(
+            epoch=views.epoch + 1, ring=target,
+            bindings=self._bindings(), moves=(), dead=self.dead),
+            reason=reason)
+        views.clear_plan()
+        self._release()
+
+    def _sync_view(self) -> None:
+        """Publish the plane's current metadata on the view (same epoch)."""
+        views = self.views
+        views.replicas = sorted(set(self.coordinators))
+        views.sync(PlacementView.make(
+            epoch=views.epoch, ring=self.ring,
+            bindings=self._bindings(),
+            moves=views.current.moves, dead=self.dead))
+
+    def _bindings(self) -> Dict[str, Any]:
+        services = self.deployment.services
+        return {name: tuple(services[name].group.members)
+                for name in self.ring.nodes if name in services}
+
+    def _fire_hook(self, phase: str) -> None:
+        hook = self.phase_hook
+        if hook is not None:
+            hook(phase)
+
+    def _plan_blob(self, target: HashRing, migration: KeyMigration,
+                   park_early: bool, reason: str,
+                   phase: str) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "target_epoch": self.epoch + 1,
+            "phase": phase,
+            "reason": reason,
+            "park_early": park_early,
+            "target": {"shards": list(target.nodes),
+                       "vnodes": target.vnodes, "seed": target.seed},
+            "sources": list(migration.sources),
+            "moves": self._moves_blob(migration),
+            "dead": sorted(self.dead),
+        }
+
+    @staticmethod
+    def _moves_blob(migration: KeyMigration) -> List[Dict[str, Any]]:
+        return [{"source": move.source, "dest": move.dest,
+                 "keys": list(move.keys), "moved": move.moved}
+                for move in migration.moves]
 
     async def _shard_keys(self, name: str) -> List[str]:
         """The keys a shard currently holds (RPC, or salvage if dead)."""
@@ -470,6 +879,10 @@ def build_elastic_kv(deployment: Any, n_shards: int, *,
     :class:`~repro.apps.kvstore.StableKVStore`, whose acknowledged
     writes survive crashes and are therefore salvageable when a shard
     dies mid-migration.
+
+    Every client pid becomes a coordinator candidate and a metadata
+    replica: pass ``clients >= 2`` to survive coordinator crashes
+    mid-migration (with one candidate there is no successor to elect).
 
     ``replication`` (a :class:`~repro.replication.spec.ReplicaSpec`)
     makes every shard — current and future — a replica group: the
